@@ -1,0 +1,83 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure (or panel) of the paper at a scale
+that fits a CPU-only run: fewer training samples and epochs, narrower
+models, and a handful of drift trials per σ.  The *shape* of each result —
+which method wins, where the accuracy cliff sits, how depth affects
+robustness — is asserted; absolute numbers are reported for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.config import ExperimentConfig
+from repro.utils.rng import seed_everything
+
+# The paper's σ grid for Figures 2 and 3(a)-(i).
+PAPER_SIGMAS = (0.0, 0.3, 0.6, 0.9, 1.2, 1.5)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_everything(2021)  # the paper's publication year, for flavour
+    yield
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Standard benchmark scale: small but large enough to learn the tasks."""
+    return ExperimentConfig(epochs=6, batch_size=32, learning_rate=0.1,
+                            train_samples=360, test_samples=120,
+                            monte_carlo_samples=2, bo_trials=5, drift_trials=3,
+                            sigma_grid=PAPER_SIGMAS)
+
+
+@pytest.fixture(scope="session")
+def heavy_bench_config():
+    """Reduced scale for the deep convolutional panels (PreAct-50/152, VGG)."""
+    return ExperimentConfig(epochs=3, batch_size=32, learning_rate=0.05,
+                            train_samples=200, test_samples=80,
+                            monte_carlo_samples=1, bo_trials=3, drift_trials=2,
+                            sigma_grid=PAPER_SIGMAS)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_curves(title: str, curves) -> None:
+    """Print the series a figure plots, one row per σ."""
+    print(f"\n=== {title} ===")
+    labels = [curve.label for curve in curves]
+    sigmas = curves[0].sigmas
+    header = "sigma   " + "  ".join(f"{label:>14s}" for label in labels)
+    print(header)
+    for index, sigma in enumerate(sigmas):
+        row = f"{sigma:5.2f}   " + "  ".join(f"{curve.means[index]:14.3f}" for curve in curves)
+        print(row)
+
+
+def print_map_curves(title: str, curves) -> None:
+    """Print mAP-vs-σ series (Fig. 3j format)."""
+    print(f"\n=== {title} ===")
+    sigmas = curves[0]["sigmas"]
+    header = "sigma   " + "  ".join(f"{curve['label']:>10s}" for curve in curves)
+    print(header)
+    for index, sigma in enumerate(sigmas):
+        row = f"{sigma:5.2f}   " + "  ".join(f"{curve['means'][index]:10.3f}" for curve in curves)
+        print(row)
+
+
+def degradation(curve) -> float:
+    """Accuracy lost between the clean point and the largest σ."""
+    return float(curve.means[0] - curve.means[-1])
+
+
+def curve_by_label(curves, label: str):
+    for curve in curves:
+        if curve.label.lower() == label.lower():
+            return curve
+    raise KeyError(label)

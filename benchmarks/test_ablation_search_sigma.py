@@ -1,0 +1,22 @@
+"""Design-choice ablation bench: sensitivity to the search-time drift level σ."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_sigma_sensitivity_ablation
+
+from conftest import print_curves, run_once
+
+
+def test_ablation_search_sigma(benchmark, bench_config):
+    result = run_once(benchmark, run_sigma_sensitivity_ablation, bench_config,
+                      search_sigmas=(0.2, 0.6, 1.0), seed=0)
+    print_curves("Ablation: search-sigma sensitivity", result["curves"])
+    print("AUC per search sigma:", dict(zip(result["search_sigmas"],
+                                            np.round(result["aucs"], 3))))
+    print("Best search sigma:", result["best_search_sigma"])
+
+    assert len(result["curves"]) == 3
+    assert all(auc > 0.1 for auc in result["aucs"])
+    assert result["best_search_sigma"] in result["search_sigmas"]

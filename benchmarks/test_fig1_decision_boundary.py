@@ -1,0 +1,31 @@
+"""Figure 1 bench: decision-boundary shift under memristance drift."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_decision_boundary_experiment
+
+from conftest import run_once
+
+
+def test_fig1_decision_boundary(benchmark):
+    result = run_once(benchmark, run_decision_boundary_experiment,
+                      sigmas=(0.0, 0.5, 1.0, 1.5), n_samples=300, epochs=25,
+                      grid_resolution=30, trials=3, seed=0)
+
+    print("\n=== Figure 1: decision boundary shift (two moons) ===")
+    print("sigma   accuracy   boundary-change-vs-clean")
+    clean_boundary = result["boundaries"][0.0]
+    for sigma in result["sigmas"]:
+        change = float(np.abs(result["boundaries"][sigma] - clean_boundary).mean())
+        accuracy = result["accuracies"][sigma]["mean"]
+        print(f"{sigma:5.2f}   {accuracy:8.3f}   {change:10.4f}")
+
+    # Shape claims from the paper: the clean model separates the classes,
+    # accuracy degrades as sigma grows, and the boundary visibly deforms.
+    assert result["clean_accuracy"] > 0.8
+    accuracies = [result["accuracies"][s]["mean"] for s in result["sigmas"]]
+    assert accuracies[-1] < accuracies[0]
+    final_change = np.abs(result["boundaries"][1.5] - clean_boundary).mean()
+    assert final_change > 0.01

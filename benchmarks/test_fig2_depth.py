@@ -1,0 +1,24 @@
+"""Figure 2(c) bench: deeper MLPs are less robust to weight drift."""
+
+from __future__ import annotations
+
+from repro.evaluation import curve_auc
+from repro.experiments import run_depth_ablation
+
+from conftest import curve_by_label, print_curves, run_once
+
+
+def test_fig2c_depth_ablation(benchmark, bench_config):
+    curves = run_once(benchmark, run_depth_ablation, bench_config, seed=0, depths=(3, 6, 9))
+    print_curves("Figure 2(c): model-complexity ablation", curves)
+
+    shallow = curve_auc(curve_by_label(curves, "3-Layer"))
+    medium = curve_auc(curve_by_label(curves, "6-Layer"))
+    deep = curve_auc(curve_by_label(curves, "9-Layer"))
+
+    # Paper claim: increasing depth decreases drift robustness.  The 3-layer
+    # model must beat the 9-layer model; the 6-layer model sits in between
+    # (allowing a small tolerance for run-to-run noise).
+    assert shallow > deep
+    assert shallow >= medium - 0.05
+    assert medium >= deep - 0.05

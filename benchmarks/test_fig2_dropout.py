@@ -1,0 +1,28 @@
+"""Figure 2(a) bench: dropout vs alpha-dropout vs no dropout."""
+
+from __future__ import annotations
+
+from repro.evaluation import curve_auc
+from repro.experiments import run_dropout_ablation
+
+from conftest import curve_by_label, print_curves, run_once
+
+
+def test_fig2a_dropout_ablation(benchmark, bench_config):
+    curves = run_once(benchmark, run_dropout_ablation, bench_config, seed=0)
+    print_curves("Figure 2(a): dropout ablation (MLP / MNIST-like)", curves)
+
+    original = curve_by_label(curves, "Original Model")
+    dropout = curve_by_label(curves, "DropOut")
+    alpha = curve_by_label(curves, "Alpha DropOut")
+
+    # Paper claim: dropout improves drift robustness.  At benchmark scale the
+    # effect concentrates in the mid-σ region, so the check is on the overall
+    # AUC (with a small tolerance) plus the σ=0.6 point where the paper's
+    # curves separate first.
+    assert curve_auc(dropout) >= curve_auc(original) - 0.02
+    assert dropout.accuracy_at(0.6) >= original.accuracy_at(0.6) - 0.05
+    # Alpha dropout is reported for completeness; on this ReLU substrate it
+    # trains less reliably than plain dropout (see EXPERIMENTS.md), so the
+    # only assertion is that its curve is a valid accuracy series.
+    assert all(0.0 <= value <= 1.0 for value in alpha.means)

@@ -1,0 +1,25 @@
+"""Figure 2(b) bench: normalisation layers hurt drift robustness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import curve_auc
+from repro.experiments import run_normalization_ablation
+
+from conftest import curve_by_label, print_curves, run_once
+
+
+def test_fig2b_normalization_ablation(benchmark, bench_config):
+    curves = run_once(benchmark, run_normalization_ablation, bench_config, seed=0)
+    print_curves("Figure 2(b): normalisation ablation", curves)
+
+    no_norm = curve_by_label(curves, "Without Norm")
+    norm_aucs = [curve_auc(curve) for curve in curves if curve.label != "Without Norm"]
+
+    # Paper claim: adding normalisation generally worsens robustness — the
+    # un-normalised model should beat the average normalised variant.
+    assert curve_auc(no_norm) > np.mean(norm_aucs) - 0.05
+    # And it should beat at least half of the normalised variants outright.
+    wins = sum(curve_auc(no_norm) > auc for auc in norm_aucs)
+    assert wins >= len(norm_aucs) / 2

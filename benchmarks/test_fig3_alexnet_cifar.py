@@ -1,0 +1,11 @@
+"""Figure 3(c) bench: AlexNet on CIFAR-like data, all five methods."""
+
+from __future__ import annotations
+
+from fig3_common import assert_all_methods_learn, assert_bayesft_competitive, run_panel
+
+
+def test_fig3c_alexnet_cifar(benchmark, bench_config):
+    result = run_panel(benchmark, "c_alexnet_cifar", bench_config, seed=0)
+    assert_all_methods_learn(result, minimum_clean=0.2)
+    assert_bayesft_competitive(result)

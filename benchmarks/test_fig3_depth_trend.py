@@ -1,0 +1,48 @@
+"""Figure 3(f)-(h) cross-panel claim: deeper PreAct ResNets degrade faster.
+
+The paper observes "an increasingly steeper fall" from PreAct-18 to
+PreAct-50 to PreAct-152 under ERM training.  This bench trains the three
+depths with identical ERM settings and compares their degradation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import ERM
+from repro.data import SyntheticCIFAR, train_test_split
+from repro.evaluation import curve_auc, robustness_curve
+from repro.models import PreActResNetS
+from repro.utils.rng import get_rng
+
+from conftest import print_curves, run_once
+
+
+def _train_and_sweep(config, seed=0):
+    rng = get_rng(seed)
+    dataset = SyntheticCIFAR(n_samples=config.train_samples + config.test_samples,
+                             image_size=16, rng=rng)
+    fraction = config.test_samples / (config.train_samples + config.test_samples)
+    train_set, test_set = train_test_split(dataset, test_fraction=fraction, rng=rng)
+    curves = []
+    for depth, depth_scale in ((18, 1.0), (50, 1.0), (152, 0.34)):
+        model = PreActResNetS(depth=depth, num_classes=10, width=4,
+                              depth_scale=depth_scale, rng=rng)
+        ERM(config, rng=rng).apply(model, train_set)
+        curves.append(robustness_curve(model, test_set, sigmas=config.sigma_grid,
+                                       trials=config.drift_trials,
+                                       label=f"PreAct-{depth}", rng=rng))
+    return curves
+
+
+def test_fig3fgh_depth_trend(benchmark, heavy_bench_config):
+    curves = run_once(benchmark, _train_and_sweep, heavy_bench_config, seed=0)
+    print_curves("Figure 3(f)-(h): ERM robustness vs PreAct depth", curves)
+    aucs = [curve_auc(curve) for curve in curves]
+    print("AUC by depth:", dict(zip(["18", "50", "152"], np.round(aucs, 3))))
+
+    # The shallowest model must be at least as robust as the deepest one.
+    assert aucs[0] >= aucs[2] - 0.03
+    # And the trend is monotone up to a small tolerance.
+    assert aucs[0] >= aucs[1] - 0.05
+    assert aucs[1] >= aucs[2] - 0.05

@@ -1,0 +1,11 @@
+"""Figure 3(a) bench: MLP on MNIST-like data, all five methods."""
+
+from __future__ import annotations
+
+from fig3_common import assert_all_methods_learn, assert_bayesft_competitive, run_panel
+
+
+def test_fig3a_mlp_mnist(benchmark, bench_config):
+    result = run_panel(benchmark, "a_mlp_mnist", bench_config, seed=0)
+    assert_all_methods_learn(result, minimum_clean=0.3)
+    assert_bayesft_competitive(result)

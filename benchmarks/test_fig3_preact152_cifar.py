@@ -1,0 +1,23 @@
+"""Figure 3(h) bench: PreAct-ResNet-152 on CIFAR-like data (ERM vs BayesFT).
+
+PreAct-152 keeps the original 3-8-36-3 block structure scaled by
+``depth_scale`` so the panel finishes on CPU while remaining the deepest
+model in the comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from fig3_common import assert_all_methods_learn, assert_bayesft_competitive, run_panel
+
+
+def test_fig3h_preact152_cifar(benchmark, heavy_bench_config):
+    config = dataclasses.replace(
+        heavy_bench_config,
+        epochs=2, bo_trials=2,
+        extra={"model_kwargs": {"width": 4, "depth_scale": 0.34}})
+    result = run_panel(benchmark, "h_preact152_cifar", config, seed=0,
+                       methods=("erm", "bayesft"))
+    assert_all_methods_learn(result, minimum_clean=0.08)
+    assert_bayesft_competitive(result, margin=0.1)

@@ -1,0 +1,15 @@
+"""Figure 3(f) bench: PreAct-ResNet-18 on CIFAR-like data."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from fig3_common import assert_all_methods_learn, assert_bayesft_competitive, run_panel
+
+
+def test_fig3f_preact18_cifar(benchmark, heavy_bench_config):
+    config = dataclasses.replace(heavy_bench_config,
+                                 extra={"model_kwargs": {"width": 6}})
+    result = run_panel(benchmark, "f_preact18_cifar", config, seed=0)
+    assert_all_methods_learn(result, minimum_clean=0.12)
+    assert_bayesft_competitive(result, margin=0.08)

@@ -1,0 +1,21 @@
+"""Figure 3(g) bench: PreAct-ResNet-50 on CIFAR-like data (ERM vs BayesFT).
+
+The deep bottleneck models are the most expensive panels; the paper's point
+here is the depth trend (18 vs 50 vs 152), which test_fig3_depth_trend.py
+checks explicitly, so this panel compares the two central methods only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from fig3_common import assert_all_methods_learn, assert_bayesft_competitive, run_panel
+
+
+def test_fig3g_preact50_cifar(benchmark, heavy_bench_config):
+    config = dataclasses.replace(heavy_bench_config,
+                                 extra={"model_kwargs": {"width": 4}})
+    result = run_panel(benchmark, "g_preact50_cifar", config, seed=0,
+                       methods=("erm", "bayesft"))
+    assert_all_methods_learn(result, minimum_clean=0.1)
+    assert_bayesft_competitive(result, margin=0.08)

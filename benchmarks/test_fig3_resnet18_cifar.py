@@ -1,0 +1,17 @@
+"""Figure 3(d) bench: ResNet-18 on CIFAR-like data, all five methods."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from fig3_common import assert_all_methods_learn, assert_bayesft_competitive, run_panel
+
+
+def test_fig3d_resnet18_cifar(benchmark, bench_config):
+    config = dataclasses.replace(bench_config,
+                                 extra={"model_kwargs": {"width": 6}})
+    result = run_panel(benchmark, "d_resnet18_cifar", config, seed=0)
+    assert_all_methods_learn(result, minimum_clean=0.15)
+    # ResNet-18 with BatchNorm is the panel where ERM degrades fastest in the
+    # paper; BayesFT should still not be worse than ERM under drift.
+    assert_bayesft_competitive(result, margin=0.08)

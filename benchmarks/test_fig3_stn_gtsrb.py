@@ -1,0 +1,23 @@
+"""Figure 3(i) bench: spatial-transformer classifier on GTSRB-like data.
+
+The paper omits FTNA for this panel; the convolutional STN needs Adam to
+train reliably at this scale, matching the original spatial-transformer
+recipe (Arcos-Garcia et al. tune the optimiser per model).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from fig3_common import assert_all_methods_learn, assert_bayesft_competitive, run_panel
+
+
+def test_fig3i_stn_gtsrb(benchmark, bench_config):
+    config = dataclasses.replace(bench_config,
+                                 epochs=8, learning_rate=0.002, optimizer="adam",
+                                 train_samples=560, test_samples=140,
+                                 extra={"model_kwargs": {"width": 10}})
+    result = run_panel(benchmark, "i_stn_gtsrb", config, seed=0,
+                       methods=("erm", "reram-v", "bayesft"))
+    assert_all_methods_learn(result, minimum_clean=0.1)
+    assert_bayesft_competitive(result, margin=0.08)

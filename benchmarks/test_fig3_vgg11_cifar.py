@@ -1,0 +1,15 @@
+"""Figure 3(e) bench: VGG-11 on CIFAR-like data, all five methods."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from fig3_common import assert_all_methods_learn, assert_bayesft_competitive, run_panel
+
+
+def test_fig3e_vgg11_cifar(benchmark, heavy_bench_config):
+    config = dataclasses.replace(heavy_bench_config,
+                                 extra={"model_kwargs": {"width": 6}})
+    result = run_panel(benchmark, "e_vgg11_cifar", config, seed=0)
+    assert_all_methods_learn(result, minimum_clean=0.12)
+    assert_bayesft_competitive(result, margin=0.08)

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that editable installs
+work in fully offline environments where the ``wheel`` package (required by
+PEP 517 editable builds with older setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""BayesFT reproduction: Bayesian optimisation for fault-tolerant neural networks.
+
+Reproduces "BayesFT: Bayesian Optimization for Fault Tolerant Neural Network
+Architecture" (Ye et al., DAC 2021) end-to-end on a from-scratch numpy
+substrate:
+
+* :mod:`repro.nn` — autograd tensor, layers, losses, optimisers;
+* :mod:`repro.models` — the paper's model zoo (MLP, LeNet, AlexNet, VGG,
+  ResNet, PreAct-ResNets, spatial transformer, TinyDetector);
+* :mod:`repro.fault` / :mod:`repro.reram` — memristance-drift fault models
+  and a crossbar-level hardware substrate;
+* :mod:`repro.bayesopt` — Gaussian-process Bayesian optimisation;
+* :mod:`repro.core` — the BayesFT search (Algorithm 1);
+* :mod:`repro.baselines` — ERM, ReRAM-V, AWP, FTNA;
+* :mod:`repro.data` — synthetic stand-ins for MNIST/CIFAR-10/GTSRB/PennFudanPed;
+* :mod:`repro.evaluation` / :mod:`repro.experiments` — robustness sweeps and
+  per-figure harnesses.
+"""
+
+from . import nn, models, fault, reram, bayesopt, core, baselines, data, evaluation
+from . import training, experiments, utils
+from .core import BayesFT
+from .utils.config import ExperimentConfig
+from .utils.rng import seed_everything
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn", "models", "fault", "reram", "bayesopt", "core", "baselines", "data",
+    "evaluation", "training", "experiments", "utils",
+    "BayesFT", "ExperimentConfig", "seed_everything",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baseline robust-training methods compared against BayesFT in Figure 3.
+
+* :class:`ERM` — plain empirical-risk minimisation.
+* :class:`ReRAMV` — Chen et al. (DATE'17): diagnose a device's drift pattern
+  and readjust/retrain the weights for that pattern.
+* :class:`AWP` — Wu et al. (NeurIPS'20): adversarial weight perturbation.
+* :class:`FTNA` — Liu et al. (DAC'19): replace the softmax head with an
+  error-correcting output-code scheme.
+
+Each method implements :class:`RobustTrainingMethod`: ``apply(model,
+dataset)`` trains (and possibly wraps) the model and returns the network to
+be evaluated with :func:`repro.evaluation.robustness_curve`.
+"""
+
+from .base import RobustTrainingMethod
+from .erm import ERM
+from .reram_v import ReRAMV
+from .awp import AWP
+from .ftna import FTNA, ECOCHead, build_codebook
+from .registry import build_method, available_methods
+
+__all__ = [
+    "RobustTrainingMethod", "ERM", "ReRAMV", "AWP",
+    "FTNA", "ECOCHead", "build_codebook",
+    "build_method", "available_methods",
+]

@@ -1,0 +1,89 @@
+"""AWP (Wu et al., NeurIPS 2020): adversarial weight perturbation.
+
+At every training step the weights are pushed a small step in the direction
+that *increases* the loss (the adversarial weight perturbation), the
+gradient of the task loss is computed at the perturbed point, and the update
+is applied to the original weights.  This flattens the loss landscape in
+weight space and should, in principle, help robustness to weight drift.
+
+The paper finds AWP performs poorly on this problem — a too-strong
+perturbation destabilises training ("the strong adversarial attack on the
+neural network parameters caused training failures"); the ``gamma``
+parameter reproduces that behaviour when set large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.loader import Dataset, DataLoader
+from ..nn import cross_entropy
+from ..nn.module import Module
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor
+from ..utils.rng import get_rng
+from .base import RobustTrainingMethod
+
+__all__ = ["AWP"]
+
+
+class AWP(RobustTrainingMethod):
+    """Adversarial-weight-perturbation training.
+
+    Parameters (via ``config.extra``):
+
+    * ``gamma`` — relative magnitude of the adversarial perturbation
+      (default 0.02; the perturbation added to a parameter is
+      ``gamma · ‖w‖ · g/‖g‖`` per-parameter-tensor).
+    * ``awp_warmup`` — number of initial epochs trained without perturbation
+      (default 1) so the network first reaches a sensible region.
+    """
+
+    name = "AWP"
+
+    def apply(self, model: Module, dataset: Dataset) -> Module:
+        cfg = self.config
+        rng = get_rng(self.rng)
+        gamma = float(cfg.extra.get("gamma", 0.02))
+        warmup = int(cfg.extra.get("awp_warmup", 1))
+        optimizer = SGD(model.parameters(), lr=cfg.learning_rate,
+                        momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+        loader = DataLoader(dataset, batch_size=cfg.batch_size, shuffle=True, rng=rng)
+        parameters = list(model.parameters())
+
+        for epoch in range(cfg.epochs):
+            model.train()
+            adversarial = epoch >= warmup
+            for inputs, labels in loader:
+                batch = Tensor(inputs)
+                perturbations: list[np.ndarray] | None = None
+                if adversarial:
+                    # 1) gradient of the loss at the current weights.
+                    loss = cross_entropy(model(batch), labels)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    # 2) ascend: w ← w + γ‖w‖ g/‖g‖ (per parameter tensor).
+                    perturbations = []
+                    for parameter in parameters:
+                        grad = parameter.grad
+                        if grad is None:
+                            perturbations.append(np.zeros_like(parameter.data))
+                            continue
+                        grad_norm = np.linalg.norm(grad)
+                        weight_norm = np.linalg.norm(parameter.data)
+                        if grad_norm < 1e-12 or weight_norm < 1e-12:
+                            perturbations.append(np.zeros_like(parameter.data))
+                            continue
+                        step = gamma * weight_norm * grad / grad_norm
+                        parameter.data = parameter.data + step
+                        perturbations.append(step)
+                # 3) task gradient at the (possibly perturbed) weights.
+                loss = cross_entropy(model(batch), labels)
+                optimizer.zero_grad()
+                loss.backward()
+                # 4) remove the perturbation, then apply the SGD update.
+                if perturbations is not None:
+                    for parameter, step in zip(parameters, perturbations):
+                        parameter.data = parameter.data - step
+                optimizer.step()
+        return model

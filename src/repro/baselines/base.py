@@ -1,0 +1,32 @@
+"""Common interface for the robust-training baselines."""
+
+from __future__ import annotations
+
+from ..data.loader import Dataset
+from ..nn.module import Module
+from ..utils.config import ExperimentConfig
+
+__all__ = ["RobustTrainingMethod"]
+
+
+class RobustTrainingMethod:
+    """A training procedure that hardens a model against weight drift.
+
+    Sub-classes implement :meth:`apply`, which trains the given model (or a
+    wrapped version of it) on the dataset and returns the module whose
+    robustness should be evaluated.  The returned module must behave like a
+    classifier (``forward`` → class scores) so that the same evaluation code
+    serves every method.
+    """
+
+    name = "base"
+
+    def __init__(self, config: ExperimentConfig | None = None, rng=None):
+        self.config = config or ExperimentConfig()
+        self.rng = rng
+
+    def apply(self, model: Module, dataset: Dataset) -> Module:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,24 @@
+"""Empirical risk minimisation: the plain-training baseline."""
+
+from __future__ import annotations
+
+from ..data.loader import Dataset
+from ..nn.module import Module
+from ..training.trainer import train_classifier
+from .base import RobustTrainingMethod
+
+__all__ = ["ERM"]
+
+
+class ERM(RobustTrainingMethod):
+    """Standard training with no drift-awareness whatsoever."""
+
+    name = "ERM"
+
+    def apply(self, model: Module, dataset: Dataset) -> Module:
+        cfg = self.config
+        train_classifier(model, dataset, epochs=cfg.epochs, batch_size=cfg.batch_size,
+                         learning_rate=cfg.learning_rate, momentum=cfg.momentum,
+                         weight_decay=cfg.weight_decay, optimizer=cfg.optimizer,
+                         rng=self.rng)
+        return model

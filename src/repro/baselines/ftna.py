@@ -1,0 +1,172 @@
+"""FTNA (Liu et al., DAC 2019): error-correcting output codes.
+
+Instead of a softmax over classes, the network predicts a binary codeword;
+each class owns a codeword in a codebook, and classification returns the
+class whose codeword is closest in Hamming distance to the thresholded
+prediction (the paper's cat=10000 / dog=11111 example).  A drifted weight
+that flips one code bit can be absorbed by the code's error-correction
+margin.
+
+Implementation: :class:`ECOCHead` replaces the final Linear layer of any
+classifier in :mod:`repro.models`; its ``forward`` returns, for evaluation
+convenience, *negative Hamming-style distances* to each class codeword so
+that ``argmax`` gives the decoded class and the standard accuracy code path
+works unchanged.  Training uses the per-bit binary cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.loader import Dataset, DataLoader
+from ..nn import bce_with_logits
+from ..nn.module import Module, Sequential
+from ..nn.layers import Linear
+from ..nn.optim import SGD
+from ..nn.tensor import Tensor
+from ..utils.rng import get_rng
+from .base import RobustTrainingMethod
+
+__all__ = ["FTNA", "ECOCHead", "build_codebook", "replace_final_linear"]
+
+
+def build_codebook(num_classes: int, code_length: int, rng=None,
+                   min_distance: int = 2) -> np.ndarray:
+    """Random binary codebook with pairwise Hamming distance ≥ ``min_distance``.
+
+    Codewords are sampled until the distance constraint holds (or a retry
+    budget is exhausted, in which case the best attempt is returned), which
+    is sufficient for the small class counts used in the experiments.
+    """
+    if code_length < int(np.ceil(np.log2(max(num_classes, 2)))):
+        raise ValueError("code_length too small to give each class a distinct codeword")
+    rng = get_rng(rng)
+    best: np.ndarray | None = None
+    best_min_dist = -1
+    for _ in range(200):
+        codebook = rng.integers(0, 2, size=(num_classes, code_length)).astype(np.float64)
+        distances = [
+            int(np.abs(codebook[i] - codebook[j]).sum())
+            for i in range(num_classes) for j in range(i + 1, num_classes)
+        ]
+        current_min = min(distances) if distances else code_length
+        if current_min > best_min_dist:
+            best, best_min_dist = codebook, current_min
+        if current_min >= min_distance:
+            return codebook
+    return best
+
+
+class ECOCHead(Module):
+    """Linear layer predicting code bits + Hamming-style decoding to classes."""
+
+    def __init__(self, in_features: int, codebook: np.ndarray, rng=None):
+        super().__init__()
+        self.codebook = np.asarray(codebook, dtype=np.float64)
+        self.num_classes, self.code_length = self.codebook.shape
+        self.linear = Linear(in_features, self.code_length, rng=rng)
+
+    def code_logits(self, features: Tensor) -> Tensor:
+        """Raw per-bit logits (used by the training loss)."""
+        return self.linear(features)
+
+    def forward(self, features: Tensor) -> Tensor:
+        """Class scores: negative soft Hamming distance to each codeword."""
+        probabilities = self.linear(features).sigmoid()
+        # Soft Hamming distance: sum_b |p_b - c_kb| for every class k.
+        expanded = probabilities.reshape(probabilities.shape[0], 1, self.code_length)
+        codes = Tensor(self.codebook.reshape(1, self.num_classes, self.code_length))
+        distances = (expanded - codes).abs().sum(axis=2)
+        return -distances
+
+
+def replace_final_linear(model: Module, head: ECOCHead) -> None:
+    """Swap the last Linear layer of ``model`` for the ECOC head, in place."""
+    last_owner: Module | None = None
+    last_name: str | None = None
+    for _, module in model.named_modules():
+        for child_name, child in list(module._modules.items()):
+            if isinstance(child, Linear):
+                last_owner, last_name = module, child_name
+    if last_owner is None:
+        raise ValueError("model contains no Linear layer to replace")
+    final: Linear = last_owner._modules[last_name]
+    if final.in_features != head.linear.in_features:
+        raise ValueError("ECOC head input width does not match the model's final layer")
+    last_owner._modules[last_name] = head
+    object.__setattr__(last_owner, last_name, head)
+    if isinstance(last_owner, Sequential):
+        index = last_owner._ordered.index(final)
+        last_owner._ordered[index] = head
+
+
+class FTNA(RobustTrainingMethod):
+    """Error-correcting-output-code baseline.
+
+    Parameters (via ``config.extra``):
+
+    * ``code_length`` — number of code bits (default ``4 × ⌈log2(classes)⌉``).
+    """
+
+    name = "FTNA"
+
+    def __init__(self, num_classes: int, config=None, rng=None):
+        super().__init__(config, rng)
+        self.num_classes = int(num_classes)
+
+    def apply(self, model: Module, dataset: Dataset) -> Module:
+        cfg = self.config
+        rng = get_rng(self.rng)
+        default_length = 4 * int(np.ceil(np.log2(max(self.num_classes, 2))))
+        code_length = int(cfg.extra.get("code_length", default_length))
+        codebook = build_codebook(self.num_classes, code_length, rng=rng)
+
+        # Find the final Linear layer to learn its input width, then replace it.
+        final_width = None
+        for _, module in model.named_modules():
+            if isinstance(module, Linear):
+                final_width = module.in_features
+        if final_width is None:
+            raise ValueError("model contains no Linear layer")
+        head = ECOCHead(final_width, codebook, rng=rng)
+        replace_final_linear(model, head)
+
+        optimizer = SGD(model.parameters(), lr=cfg.learning_rate, momentum=cfg.momentum,
+                        weight_decay=cfg.weight_decay)
+        loader = DataLoader(dataset, batch_size=cfg.batch_size, shuffle=True, rng=rng)
+        bit_targets = codebook  # (num_classes, code_length)
+
+        for _ in range(cfg.epochs):
+            model.train()
+            for inputs, labels in loader:
+                targets = bit_targets[labels]
+                # Forward through the model but stop at the code logits: the
+                # head is the last layer, so running the full model gives the
+                # decoded scores; for the loss we need the bit logits, which we
+                # obtain by running the model with the head temporarily in
+                # "logit mode".
+                logits = _forward_code_logits(model, head, Tensor(inputs))
+                loss = bce_with_logits(logits, targets)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return model
+
+
+def _forward_code_logits(model: Module, head: ECOCHead, inputs: Tensor) -> Tensor:
+    """Run ``model`` but capture the ECOC head's raw bit logits."""
+    captured: dict[str, Tensor] = {}
+    original_forward = head.forward
+
+    def capturing_forward(features: Tensor) -> Tensor:
+        logits = head.code_logits(features)
+        captured["logits"] = logits
+        # Return decoded scores so downstream layers (none, normally) still work.
+        return original_forward(features)
+
+    head.forward = capturing_forward
+    try:
+        model(inputs)
+    finally:
+        head.forward = original_forward
+    return captured["logits"]

@@ -1,0 +1,31 @@
+"""Method registry: build any Figure-3 method (baselines + BayesFT) by name."""
+
+from __future__ import annotations
+
+from ..utils.config import ExperimentConfig
+from .erm import ERM
+from .reram_v import ReRAMV
+from .awp import AWP
+from .ftna import FTNA
+
+__all__ = ["build_method", "available_methods"]
+
+
+def available_methods() -> list[str]:
+    """Names accepted by :func:`build_method` (BayesFT itself lives in repro.core)."""
+    return ["erm", "reram-v", "awp", "ftna"]
+
+
+def build_method(name: str, num_classes: int = 10,
+                 config: ExperimentConfig | None = None, rng=None):
+    """Instantiate a baseline robust-training method by its paper name."""
+    key = name.lower()
+    if key == "erm":
+        return ERM(config, rng=rng)
+    if key in ("reram-v", "reram_v", "reramv"):
+        return ReRAMV(config, rng=rng)
+    if key == "awp":
+        return AWP(config, rng=rng)
+    if key == "ftna":
+        return FTNA(num_classes, config, rng=rng)
+    raise ValueError(f"unknown method {name!r}; available: {available_methods()}")

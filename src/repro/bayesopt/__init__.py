@@ -1,0 +1,24 @@
+"""Gaussian-process Bayesian optimisation (the paper's §III-B machinery).
+
+The surrogate is a Gaussian-process regressor with the exponential / ARD
+squared-distance kernel of Eq. (9); candidates are selected by maximising an
+acquisition function over random candidate points.  The paper's rule —
+"the next trial is the point most likely to give the optimal objective",
+i.e. maximising the posterior mean — is :class:`PosteriorMean`; expected
+improvement and UCB are provided for the ablation benchmarks, alongside a
+random-search baseline.
+"""
+
+from .kernels import ExponentialKernel, RBFKernel, Matern52Kernel, Kernel
+from .gp import GaussianProcessRegressor
+from .acquisition import AcquisitionFunction, PosteriorMean, ExpectedImprovement, UpperConfidenceBound
+from .optimizer import BayesianOptimizer, OptimizationTrace
+from .random_search import RandomSearchOptimizer, GridSearchOptimizer
+
+__all__ = [
+    "Kernel", "ExponentialKernel", "RBFKernel", "Matern52Kernel",
+    "GaussianProcessRegressor",
+    "AcquisitionFunction", "PosteriorMean", "ExpectedImprovement", "UpperConfidenceBound",
+    "BayesianOptimizer", "OptimizationTrace",
+    "RandomSearchOptimizer", "GridSearchOptimizer",
+]

@@ -1,0 +1,125 @@
+"""The Bayesian-optimisation loop over a box-constrained search space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .acquisition import AcquisitionFunction, PosteriorMean
+from .gp import GaussianProcessRegressor
+from .kernels import ExponentialKernel
+
+__all__ = ["BayesianOptimizer", "OptimizationTrace"]
+
+
+@dataclass
+class OptimizationTrace:
+    """Record of an optimisation run: every trial point and its objective value."""
+
+    points: list = field(default_factory=list)
+    values: list = field(default_factory=list)
+
+    def append(self, point: np.ndarray, value: float) -> None:
+        self.points.append(np.asarray(point, dtype=np.float64).copy())
+        self.values.append(float(value))
+
+    @property
+    def best_index(self) -> int:
+        return int(np.argmax(self.values))
+
+    @property
+    def best_point(self) -> np.ndarray:
+        return self.points[self.best_index]
+
+    @property
+    def best_value(self) -> float:
+        return self.values[self.best_index]
+
+    def running_best(self) -> np.ndarray:
+        """Cumulative best objective value after each trial (for regret plots)."""
+        return np.maximum.accumulate(np.asarray(self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class BayesianOptimizer:
+    """Maximise a black-box function over ``[low, high]^d`` with a GP surrogate.
+
+    Parameters
+    ----------
+    bounds:
+        Sequence of ``(low, high)`` pairs, one per dimension (for BayesFT
+        these are the per-layer dropout-rate ranges).
+    acquisition:
+        Acquisition function; default is the paper's posterior-mean rule.
+    n_initial:
+        Number of uniformly random trials before the surrogate is used
+        (Algorithm 1 initialises α uniformly on [0, 1]).
+    n_candidates:
+        Size of the random candidate pool scored by the acquisition function
+        at each step.
+    """
+
+    def __init__(self, bounds: Sequence[tuple[float, float]],
+                 acquisition: AcquisitionFunction | None = None,
+                 kernel=None, n_initial: int = 3, n_candidates: int = 256,
+                 noise: float = 1e-4, rng=None):
+        self.bounds = np.asarray(bounds, dtype=np.float64)
+        if self.bounds.ndim != 2 or self.bounds.shape[1] != 2:
+            raise ValueError("bounds must be a sequence of (low, high) pairs")
+        if np.any(self.bounds[:, 0] >= self.bounds[:, 1]):
+            raise ValueError("each bound must satisfy low < high")
+        if n_initial < 1:
+            raise ValueError("n_initial must be at least 1")
+        self.dim = self.bounds.shape[0]
+        self.acquisition = acquisition or PosteriorMean()
+        self.kernel = kernel or ExponentialKernel(lengthscales=np.ones(self.dim))
+        self.n_initial = n_initial
+        self.n_candidates = n_candidates
+        self.noise = noise
+        self.rng = get_rng(rng)
+        self.trace = OptimizationTrace()
+
+    # ------------------------------------------------------------------ #
+    def _sample_uniform(self, count: int) -> np.ndarray:
+        span = self.bounds[:, 1] - self.bounds[:, 0]
+        return self.bounds[:, 0] + span * self.rng.random((count, self.dim))
+
+    def suggest(self) -> np.ndarray:
+        """Propose the next trial point."""
+        if len(self.trace) < self.n_initial:
+            return self._sample_uniform(1)[0]
+        gp = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
+        gp.fit(np.stack(self.trace.points), np.asarray(self.trace.values))
+        candidates = self._sample_uniform(self.n_candidates)
+        # Always include the best point found so far plus small perturbations
+        # of it, so exploitation can refine promising regions.
+        best = self.trace.best_point
+        jitter = best + self.rng.normal(0, 0.05, size=(8, self.dim)) * \
+            (self.bounds[:, 1] - self.bounds[:, 0])
+        jitter = np.clip(jitter, self.bounds[:, 0], self.bounds[:, 1])
+        candidates = np.vstack([candidates, best[None, :], jitter])
+        scores = self.acquisition(gp, candidates, best_observed=self.trace.best_value)
+        return candidates[int(np.argmax(scores))]
+
+    def observe(self, point: np.ndarray, value: float) -> None:
+        """Record the objective value measured at ``point``."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dim,):
+            raise ValueError(f"point must have shape ({self.dim},)")
+        self.trace.append(point, value)
+
+    def optimize(self, objective: Callable[[np.ndarray], float],
+                 n_trials: int = 20) -> OptimizationTrace:
+        """Run the full suggest → evaluate → observe loop."""
+        if n_trials < 1:
+            raise ValueError("n_trials must be at least 1")
+        for _ in range(n_trials):
+            point = self.suggest()
+            value = float(objective(point))
+            self.observe(point, value)
+        return self.trace

@@ -1,0 +1,59 @@
+"""Random-search and grid-search baselines for the BO ablation benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .optimizer import OptimizationTrace
+
+__all__ = ["RandomSearchOptimizer", "GridSearchOptimizer"]
+
+
+class RandomSearchOptimizer:
+    """Uniform random search over a box, with the same interface as the BO loop."""
+
+    def __init__(self, bounds: Sequence[tuple[float, float]], rng=None):
+        self.bounds = np.asarray(bounds, dtype=np.float64)
+        if self.bounds.ndim != 2 or self.bounds.shape[1] != 2:
+            raise ValueError("bounds must be a sequence of (low, high) pairs")
+        self.dim = self.bounds.shape[0]
+        self.rng = get_rng(rng)
+        self.trace = OptimizationTrace()
+
+    def suggest(self) -> np.ndarray:
+        span = self.bounds[:, 1] - self.bounds[:, 0]
+        return self.bounds[:, 0] + span * self.rng.random(self.dim)
+
+    def observe(self, point: np.ndarray, value: float) -> None:
+        self.trace.append(point, value)
+
+    def optimize(self, objective: Callable[[np.ndarray], float],
+                 n_trials: int = 20) -> OptimizationTrace:
+        for _ in range(n_trials):
+            point = self.suggest()
+            self.observe(point, float(objective(point)))
+        return self.trace
+
+
+class GridSearchOptimizer:
+    """Exhaustive grid search (only practical for 1–2 search dimensions)."""
+
+    def __init__(self, bounds: Sequence[tuple[float, float]], points_per_dim: int = 5):
+        self.bounds = np.asarray(bounds, dtype=np.float64)
+        if points_per_dim < 2:
+            raise ValueError("points_per_dim must be at least 2")
+        self.dim = self.bounds.shape[0]
+        axes = [np.linspace(low, high, points_per_dim) for low, high in self.bounds]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        self.grid = np.stack([m.ravel() for m in mesh], axis=1)
+        self.trace = OptimizationTrace()
+
+    def optimize(self, objective: Callable[[np.ndarray], float],
+                 n_trials: int | None = None) -> OptimizationTrace:
+        points = self.grid if n_trials is None else self.grid[:n_trials]
+        for point in points:
+            self.trace.append(point, float(objective(point)))
+        return self.trace

@@ -1,0 +1,22 @@
+"""BayesFT core: the paper's primary contribution.
+
+* :class:`DropoutSearchSpace` — the architecture search space of §III-B:
+  one dropout rate per layer of an existing network.
+* :class:`DriftMarginalizedObjective` — Eq. (3)–(4): the Monte-Carlo
+  estimate of the negative loss (or accuracy) marginalised over drifted
+  weights.
+* :class:`BayesFTSearch` — Algorithm 1: alternating SGD on the weights and
+  Gaussian-process Bayesian optimisation on the dropout rates.
+* :class:`BayesFT` — the high-level "train me a fault-tolerant network" API
+  used by the examples and benchmarks.
+"""
+
+from .search_space import DropoutSearchSpace
+from .objective import DriftMarginalizedObjective
+from .algorithm import BayesFTSearch, BayesFTResult
+from .api import BayesFT
+
+__all__ = [
+    "DropoutSearchSpace", "DriftMarginalizedObjective",
+    "BayesFTSearch", "BayesFTResult", "BayesFT",
+]

@@ -1,0 +1,91 @@
+"""The drift-marginalised objective of Eq. (3)–(4).
+
+``u(α, θ) = −E_{θ̃~p(θ̃)}[ℓ(f_{α,θ̃}(x), y)]`` is intractable; the paper
+estimates it with ``T`` Monte-Carlo samples of the drifted weights
+(Eq. 4).  For reporting, an accuracy-based variant (mean accuracy under
+drift) is also provided — it is the quantity actually plotted in the
+paper's figures and is bounded in [0, 1], which keeps the GP surrogate well
+behaved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import cross_entropy
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from ..data.loader import Dataset
+from ..fault.drift import LogNormalDrift
+from ..fault.injector import fault_injection
+from ..utils.rng import get_rng
+
+__all__ = ["DriftMarginalizedObjective"]
+
+
+class DriftMarginalizedObjective:
+    """Monte-Carlo estimator of the drift-marginalised utility.
+
+    Parameters
+    ----------
+    dataset:
+        Validation data on which the utility is estimated.
+    sigma:
+        Drift level σ used during the search.  The paper searches at a
+        representative σ and evaluates over the full sweep.
+    monte_carlo_samples:
+        ``T`` in Eq. (4).
+    metric:
+        ``"neg_loss"`` (the paper's Eq. 3) or ``"accuracy"``.
+    max_batch:
+        Evaluation subsample size per Monte-Carlo draw, to bound CPU cost.
+    """
+
+    def __init__(self, dataset: Dataset, sigma: float = 0.6,
+                 monte_carlo_samples: int = 5, metric: str = "neg_loss",
+                 max_batch: int = 512, rng=None):
+        if monte_carlo_samples < 1:
+            raise ValueError("monte_carlo_samples must be at least 1")
+        if metric not in ("neg_loss", "accuracy"):
+            raise ValueError("metric must be 'neg_loss' or 'accuracy'")
+        self.dataset = dataset
+        self.sigma = float(sigma)
+        self.monte_carlo_samples = int(monte_carlo_samples)
+        self.metric = metric
+        self.max_batch = int(max_batch)
+        self.rng = get_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def _evaluation_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        n = len(self.dataset)
+        if n <= self.max_batch:
+            return self.dataset.inputs, self.dataset.labels
+        indices = self.rng.choice(n, size=self.max_batch, replace=False)
+        return self.dataset.inputs[indices], self.dataset.labels[indices]
+
+    def _score_once(self, model: Module, inputs: np.ndarray, labels: np.ndarray) -> float:
+        with no_grad():
+            logits = model(Tensor(inputs))
+        if self.metric == "accuracy":
+            return float((logits.data.argmax(axis=1) == labels).mean())
+        loss = cross_entropy(logits, labels)
+        return -float(loss.item())
+
+    def evaluate(self, model: Module) -> float:
+        """Estimate u(α, θ) for the model's current architecture and weights."""
+        model.eval()
+        inputs, labels = self._evaluation_batch()
+        scores = []
+        for _ in range(self.monte_carlo_samples):
+            with fault_injection(model, LogNormalDrift(self.sigma), rng=self.rng):
+                scores.append(self._score_once(model, inputs, labels))
+        return float(np.mean(scores))
+
+    def evaluate_clean(self, model: Module) -> float:
+        """The same metric without any drift (diagnostic)."""
+        model.eval()
+        inputs, labels = self._evaluation_batch()
+        return self._score_once(model, inputs, labels)
+
+    def __call__(self, model: Module) -> float:
+        return self.evaluate(model)

@@ -1,0 +1,88 @@
+"""The BayesFT search space: per-layer dropout rates of an existing model.
+
+The paper's key search-space simplification (§III-B) is to keep the network
+topology fixed, append a dropout layer after every layer except the output
+head, and search only over the vector of dropout rates
+``α ∈ [0, 1]^(K-1)``.  All models in :mod:`repro.models` are built with
+:class:`~repro.nn.layers.dropout.Dropout` modules already in place (rate 0
+by default), so the search space simply enumerates those modules and
+re-configures their rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.layers.dropout import Dropout, AlphaDropout
+
+__all__ = ["DropoutSearchSpace"]
+
+
+class DropoutSearchSpace:
+    """Maps a vector α of dropout rates onto a model's dropout layers.
+
+    Parameters
+    ----------
+    model:
+        The network whose dropout layers define the search dimensions.
+    max_rate:
+        Upper bound of each dropout rate.  The paper searches on [0, 1];
+        rates very close to 1 destroy all signal, so the default caps the
+        range at 0.9 (the cap is configurable to reproduce the exact paper
+        setting).
+    include_alpha_dropout:
+        Whether :class:`AlphaDropout` layers are also part of the space.
+    """
+
+    def __init__(self, model: Module, max_rate: float = 0.9,
+                 include_alpha_dropout: bool = True):
+        if not 0.0 < max_rate < 1.0:
+            raise ValueError("max_rate must lie in (0, 1)")
+        self.model = model
+        self.max_rate = float(max_rate)
+        kinds = (Dropout, AlphaDropout) if include_alpha_dropout else (Dropout,)
+        self._layers = [(name, module) for name, module in model.named_modules()
+                        if isinstance(module, kinds)]
+        if not self._layers:
+            raise ValueError(
+                "model has no dropout layers; build it with dropout modules "
+                "(all repro.models classifiers insert them automatically)")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dim(self) -> int:
+        """Number of search dimensions (dropout layers)."""
+        return len(self._layers)
+
+    @property
+    def layer_names(self) -> list[str]:
+        """Dotted module names of the dropout layers, in model order."""
+        return [name for name, _ in self._layers]
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        """Box bounds for the Bayesian optimiser."""
+        return [(0.0, self.max_rate)] * self.dim
+
+    # ------------------------------------------------------------------ #
+    def get_rates(self) -> np.ndarray:
+        """Current dropout-rate vector of the model."""
+        return np.array([module.rate for _, module in self._layers])
+
+    def apply(self, alpha: np.ndarray) -> None:
+        """Write the rate vector α into the model's dropout layers."""
+        alpha = np.asarray(alpha, dtype=np.float64).ravel()
+        if alpha.shape[0] != self.dim:
+            raise ValueError(f"alpha must have {self.dim} entries, got {alpha.shape[0]}")
+        clipped = np.clip(alpha, 0.0, self.max_rate)
+        for (_, module), rate in zip(self._layers, clipped):
+            module.set_rate(float(rate))
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random α (Algorithm 1's initialisation)."""
+        return rng.uniform(0.0, self.max_rate, size=self.dim)
+
+    def describe(self) -> dict:
+        """Human-readable summary used by the examples."""
+        return {name: float(module.rate) for name, module in self._layers}

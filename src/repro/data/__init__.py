@@ -1,0 +1,25 @@
+"""Synthetic datasets standing in for MNIST, CIFAR-10, GTSRB and PennFudanPed.
+
+This environment has no network access, so the photographic datasets the
+paper evaluates on cannot be downloaded.  Each dataset here is generated
+procedurally with controllable class structure and difficulty; see DESIGN.md
+§2 for why this substitution preserves the paper's comparisons (the
+evaluation measures *relative* accuracy degradation under weight drift,
+which depends on the architecture and the noise, not on the image corpus).
+"""
+
+from .toy import make_moons, make_blobs, ToyDataset
+from .mnist import SyntheticMNIST
+from .cifar import SyntheticCIFAR
+from .gtsrb import SyntheticGTSRB
+from .detection import SyntheticPedestrians, DetectionSample
+from .loader import Dataset, DataLoader, train_test_split
+from .transforms import normalize_images, random_crop, random_flip, add_pixel_noise
+
+__all__ = [
+    "make_moons", "make_blobs", "ToyDataset",
+    "SyntheticMNIST", "SyntheticCIFAR", "SyntheticGTSRB",
+    "SyntheticPedestrians", "DetectionSample",
+    "Dataset", "DataLoader", "train_test_split",
+    "normalize_images", "random_crop", "random_flip", "add_pixel_noise",
+]

@@ -1,0 +1,114 @@
+"""Synthetic pedestrian-detection dataset (PennFudanPed stand-in).
+
+PennFudanPed contains street scenes with one or more pedestrians and
+per-instance bounding boxes.  The synthetic substitute renders a structured
+"street" background (ground plane, sky gradient, building-like rectangles)
+and 1–3 bright vertical "pedestrians" of varying height/aspect, returning
+the images together with ground-truth boxes in ``(x1, y1, x2, y2)`` pixel
+coordinates.  That is everything the paper's Figure 3(j) / Figure 4
+comparison needs: a detector whose mAP can be measured while its weights
+drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+__all__ = ["DetectionSample", "SyntheticPedestrians"]
+
+
+@dataclass
+class DetectionSample:
+    """One detection example: an image plus its ground-truth boxes."""
+
+    image: np.ndarray          # (3, H, W) float64 in [0, 1]
+    boxes: np.ndarray          # (num_objects, 4) as x1, y1, x2, y2 pixels
+
+    @property
+    def num_objects(self) -> int:
+        return int(self.boxes.shape[0])
+
+
+def _render_background(image_size: int, rng: np.random.Generator) -> np.ndarray:
+    h = w = image_size
+    yy = np.linspace(0, 1, h)[:, None] * np.ones((1, w))
+    sky = np.stack([0.4 + 0.2 * (1 - yy), 0.5 + 0.2 * (1 - yy), 0.7 * (1 - yy) + 0.2])
+    ground = np.stack([0.3 * yy, 0.28 * yy, 0.25 * yy])
+    image = np.where(yy[None] < 0.6, sky, ground * 1.5)
+    # Building-like dark rectangles.
+    for _ in range(rng.integers(1, 4)):
+        bw = int(rng.integers(w // 8, w // 3))
+        bh = int(rng.integers(h // 6, h // 2))
+        x0 = int(rng.integers(0, w - bw))
+        y0 = int(rng.integers(0, h // 3))
+        colour = rng.uniform(0.1, 0.4, size=3)[:, None, None]
+        image[:, y0:y0 + bh, x0:x0 + bw] = colour
+    return image
+
+
+def _render_pedestrian(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Draw one pedestrian; returns its bounding box (x1, y1, x2, y2)."""
+    _, h, w = image.shape
+    ped_h = int(rng.integers(h // 3, int(h * 0.7)))
+    ped_w = max(2, int(ped_h * rng.uniform(0.25, 0.4)))
+    x1 = int(rng.integers(0, max(1, w - ped_w)))
+    y1 = int(rng.integers(int(h * 0.25), max(int(h * 0.25) + 1, h - ped_h)))
+    x2, y2 = x1 + ped_w, min(h, y1 + ped_h)
+    body_colour = rng.uniform(0.6, 1.0, size=3)[:, None, None]
+    image[:, y1:y2, x1:x2] = body_colour
+    # Head: a brighter square on top third.
+    head_h = max(1, (y2 - y1) // 4)
+    image[:, y1:y1 + head_h, x1:x2] = np.clip(body_colour * 1.2, 0, 1)
+    # Legs: darker split at the bottom third.
+    leg_y = y1 + 2 * (y2 - y1) // 3
+    mid = x1 + ped_w // 2
+    image[:, leg_y:y2, mid:mid + 1] = 0.05
+    return np.array([x1, y1, x2, y2], dtype=np.float64)
+
+
+class SyntheticPedestrians:
+    """A list-like dataset of :class:`DetectionSample` items."""
+
+    def __init__(self, n_samples: int = 64, image_size: int = 32,
+                 max_pedestrians: int = 2, noise: float = 0.03, rng=None):
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if max_pedestrians < 1:
+            raise ValueError("max_pedestrians must be at least 1")
+        rng = get_rng(rng)
+        self.image_size = image_size
+        self.samples: list[DetectionSample] = []
+        for _ in range(n_samples):
+            image = _render_background(image_size, rng)
+            count = int(rng.integers(1, max_pedestrians + 1))
+            boxes = np.stack([_render_pedestrian(image, rng) for _ in range(count)])
+            if noise > 0:
+                image = np.clip(image + rng.normal(0, noise, size=image.shape), 0, 1)
+            self.samples.append(DetectionSample(image=image, boxes=boxes))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> DetectionSample:
+        return self.samples[index]
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def images(self) -> np.ndarray:
+        """All images stacked into an (N, 3, H, W) array."""
+        return np.stack([sample.image for sample in self.samples])
+
+    def split(self, test_fraction: float = 0.25, rng=None):
+        """Split into (train, test) lists of samples."""
+        rng = get_rng(rng)
+        indices = np.arange(len(self.samples))
+        rng.shuffle(indices)
+        cut = int(round(len(indices) * (1 - test_fraction)))
+        train = [self.samples[i] for i in indices[:cut]]
+        test = [self.samples[i] for i in indices[cut:]]
+        return train, test

@@ -1,0 +1,80 @@
+"""Dataset and DataLoader abstractions."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+__all__ = ["Dataset", "DataLoader", "train_test_split"]
+
+
+class Dataset:
+    """A simple in-memory dataset of ``(inputs, labels)`` numpy arrays."""
+
+    def __init__(self, inputs: np.ndarray, labels: np.ndarray):
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels)
+        if len(inputs) != len(labels):
+            raise ValueError("inputs and labels must have the same length")
+        self.inputs = inputs
+        self.labels = labels
+        # Number of classes; subclasses may overwrite (e.g. 43 for GTSRB even
+        # if a small sample happens not to contain every class).
+        self.num_classes = int(labels.max()) + 1 if len(labels) and labels.dtype.kind in "iu" else 0
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index):
+        return self.inputs[index], self.labels[index]
+
+    def subset(self, indices) -> "Dataset":
+        """Return a new dataset restricted to ``indices`` (class count preserved)."""
+        subset = Dataset(self.inputs[indices], self.labels[indices])
+        subset.num_classes = self.num_classes
+        return subset
+
+
+class DataLoader:
+    """Mini-batch iterator over a :class:`Dataset`."""
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = True,
+                 drop_last: bool = False, rng=None):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = get_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch) < self.batch_size:
+                break
+            yield self.dataset.inputs[batch], self.dataset.labels[batch]
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2,
+                     rng=None) -> tuple[Dataset, Dataset]:
+    """Split a dataset into train/test subsets with shuffling."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must lie in (0, 1)")
+    rng = get_rng(rng)
+    indices = np.arange(len(dataset))
+    rng.shuffle(indices)
+    cut = int(round(len(dataset) * (1.0 - test_fraction)))
+    return dataset.subset(indices[:cut]), dataset.subset(indices[cut:])

@@ -1,0 +1,71 @@
+"""Two-dimensional toy datasets.
+
+Figure 1 of the paper visualises decision-boundary shift on "a simple binary
+classification dataset generated with Scikit-Learn".  ``make_moons`` and
+``make_blobs`` are re-implemented here (scikit-learn is not installed) with
+the same semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .loader import Dataset
+
+__all__ = ["make_moons", "make_blobs", "ToyDataset"]
+
+
+def make_moons(n_samples: int = 400, noise: float = 0.1, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Two interleaving half-circles (the scikit-learn "moons" dataset)."""
+    rng = get_rng(rng)
+    n_outer = n_samples // 2
+    n_inner = n_samples - n_outer
+    outer_angle = np.pi * rng.random(n_outer)
+    inner_angle = np.pi * rng.random(n_inner)
+    outer = np.stack([np.cos(outer_angle), np.sin(outer_angle)], axis=1)
+    inner = np.stack([1.0 - np.cos(inner_angle), 0.5 - np.sin(inner_angle)], axis=1)
+    points = np.concatenate([outer, inner], axis=0)
+    labels = np.concatenate([np.zeros(n_outer, dtype=np.int64),
+                             np.ones(n_inner, dtype=np.int64)])
+    if noise > 0:
+        points = points + rng.normal(0.0, noise, size=points.shape)
+    return points, labels
+
+
+def make_blobs(n_samples: int = 400, centers: int = 2, spread: float = 0.6,
+               box: float = 4.0, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs with ``centers`` classes."""
+    rng = get_rng(rng)
+    centroids = rng.uniform(-box, box, size=(centers, 2))
+    labels = rng.integers(0, centers, size=n_samples)
+    points = centroids[labels] + rng.normal(0.0, spread, size=(n_samples, 2))
+    return points, labels.astype(np.int64)
+
+
+class ToyDataset(Dataset):
+    """A 2-D dataset wrapper with a grid helper for decision-boundary plots."""
+
+    def __init__(self, kind: str = "moons", n_samples: int = 400, noise: float = 0.1,
+                 centers: int = 2, rng=None):
+        if kind == "moons":
+            points, labels = make_moons(n_samples, noise, rng=rng)
+        elif kind == "blobs":
+            points, labels = make_blobs(n_samples, centers=centers, rng=rng)
+        else:
+            raise ValueError(f"unknown toy dataset kind {kind!r}")
+        self.kind = kind
+        super().__init__(points, labels)
+
+    def grid(self, resolution: int = 50, margin: float = 0.5) -> tuple[np.ndarray, tuple]:
+        """Return a flattened (resolution², 2) grid covering the data extent.
+
+        Used by the Figure-1 experiment to rasterise the decision boundary.
+        """
+        x_min, y_min = self.inputs.min(axis=0) - margin
+        x_max, y_max = self.inputs.max(axis=0) + margin
+        xs = np.linspace(x_min, x_max, resolution)
+        ys = np.linspace(y_min, y_max, resolution)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        points = np.stack([grid_x.ravel(), grid_y.ravel()], axis=1)
+        return points, (resolution, resolution)

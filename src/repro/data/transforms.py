@@ -1,0 +1,51 @@
+"""Simple image transforms used for data augmentation and preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+__all__ = ["normalize_images", "random_crop", "random_flip", "add_pixel_noise"]
+
+
+def normalize_images(images: np.ndarray, mean: float | None = None,
+                     std: float | None = None) -> np.ndarray:
+    """Standardise images to zero mean and unit variance (per batch)."""
+    images = np.asarray(images, dtype=np.float64)
+    mean = images.mean() if mean is None else mean
+    std = images.std() if std is None else std
+    return (images - mean) / (std + 1e-8)
+
+
+def random_crop(images: np.ndarray, padding: int = 2, rng=None) -> np.ndarray:
+    """Pad then randomly crop back to the original size (CIFAR-style augmentation)."""
+    rng = get_rng(rng)
+    if images.ndim != 4:
+        raise ValueError("random_crop expects NCHW images")
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(images)
+    for i in range(n):
+        top = rng.integers(0, 2 * padding + 1)
+        left = rng.integers(0, 2 * padding + 1)
+        out[i] = padded[i, :, top:top + h, left:left + w]
+    return out
+
+
+def random_flip(images: np.ndarray, probability: float = 0.5, rng=None) -> np.ndarray:
+    """Randomly flip each image horizontally."""
+    rng = get_rng(rng)
+    if images.ndim != 4:
+        raise ValueError("random_flip expects NCHW images")
+    out = images.copy()
+    flips = rng.random(len(images)) < probability
+    out[flips] = out[flips][:, :, :, ::-1]
+    return out
+
+
+def add_pixel_noise(images: np.ndarray, sigma: float = 0.05, rng=None) -> np.ndarray:
+    """Add clipped Gaussian pixel noise."""
+    rng = get_rng(rng)
+    noisy = images + rng.normal(0, sigma, size=images.shape)
+    return np.clip(noisy, 0.0, 1.0)

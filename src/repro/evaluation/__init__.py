@@ -1,0 +1,13 @@
+"""Evaluation: clean accuracy, drift-robustness curves, detection mAP, statistics."""
+
+from .robustness import (
+    accuracy, accuracy_under_drift, robustness_curve, RobustnessCurve,
+)
+from .detection_metrics import average_precision, mean_average_precision, map_under_drift
+from .statistics import curve_auc, sigma_at_accuracy, compare_curves, mean_confidence_interval
+
+__all__ = [
+    "accuracy", "accuracy_under_drift", "robustness_curve", "RobustnessCurve",
+    "average_precision", "mean_average_precision", "map_under_drift",
+    "curve_auc", "sigma_at_accuracy", "compare_curves", "mean_confidence_interval",
+]

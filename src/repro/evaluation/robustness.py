@@ -1,0 +1,97 @@
+"""Robustness evaluation: accuracy as a function of the drift level σ.
+
+These functions implement the measurement protocol behind every curve in
+Figures 2 and 3 of the paper: for each σ on a grid, sample several drifted
+copies of the trained weights (Eq. 1), measure test accuracy with each copy,
+and average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.tensor import Tensor, no_grad
+from ..data.loader import Dataset, DataLoader
+from ..fault.drift import DriftModel, LogNormalDrift
+from ..fault.injector import fault_injection
+from ..utils.rng import get_rng
+
+__all__ = ["accuracy", "accuracy_under_drift", "robustness_curve", "RobustnessCurve"]
+
+
+def accuracy(model: Module, dataset: Dataset, batch_size: int = 256) -> float:
+    """Clean classification accuracy of ``model`` on ``dataset``."""
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    correct = 0
+    for inputs, labels in loader:
+        with no_grad():
+            logits = model(Tensor(inputs))
+        correct += int((logits.data.argmax(axis=1) == labels).sum())
+    return correct / max(len(dataset), 1)
+
+
+def accuracy_under_drift(model: Module, dataset: Dataset, sigma: float,
+                         trials: int = 5, drift_factory=None, rng=None,
+                         batch_size: int = 256) -> tuple[float, float]:
+    """Mean and std of accuracy over ``trials`` independent drift samples.
+
+    ``drift_factory`` maps σ to a :class:`DriftModel` (defaults to the
+    paper's log-normal drift).
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    rng = get_rng(rng)
+    drift_factory = drift_factory or LogNormalDrift
+    scores = []
+    for _ in range(trials):
+        drift = drift_factory(sigma) if not isinstance(drift_factory, DriftModel) else drift_factory
+        with fault_injection(model, drift, rng=rng):
+            scores.append(accuracy(model, dataset, batch_size=batch_size))
+    return float(np.mean(scores)), float(np.std(scores))
+
+
+@dataclass
+class RobustnessCurve:
+    """Accuracy-vs-σ curve for one method/model (one line in Fig. 2/3)."""
+
+    label: str
+    sigmas: list = field(default_factory=list)
+    means: list = field(default_factory=list)
+    stds: list = field(default_factory=list)
+
+    def add(self, sigma: float, mean: float, std: float) -> None:
+        self.sigmas.append(float(sigma))
+        self.means.append(float(mean))
+        self.stds.append(float(std))
+
+    def as_dict(self) -> dict:
+        return {"label": self.label, "sigmas": list(self.sigmas),
+                "means": list(self.means), "stds": list(self.stds)}
+
+    def accuracy_at(self, sigma: float) -> float:
+        """Accuracy at the grid point closest to ``sigma``."""
+        index = int(np.argmin(np.abs(np.asarray(self.sigmas) - sigma)))
+        return self.means[index]
+
+    def __len__(self) -> int:
+        return len(self.sigmas)
+
+
+def robustness_curve(model: Module, dataset: Dataset,
+                     sigmas: Sequence[float] = (0.0, 0.3, 0.6, 0.9, 1.2, 1.5),
+                     trials: int = 5, label: str = "", drift_factory=None,
+                     rng=None, batch_size: int = 256) -> RobustnessCurve:
+    """Sweep σ over a grid and record mean/std accuracy at each point."""
+    rng = get_rng(rng)
+    curve = RobustnessCurve(label=label or type(model).__name__)
+    for sigma in sigmas:
+        mean, std = accuracy_under_drift(model, dataset, sigma, trials=trials,
+                                         drift_factory=drift_factory, rng=rng,
+                                         batch_size=batch_size)
+        curve.add(sigma, mean, std)
+    return curve

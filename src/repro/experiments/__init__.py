@@ -1,0 +1,28 @@
+"""Experiment harnesses: one module per figure of the paper.
+
+Every function returns plain Python data (dicts / lists of
+:class:`~repro.evaluation.robustness.RobustnessCurve`) containing exactly
+the series the corresponding paper figure plots, so a caller can print,
+assert on, or plot them.  The benchmark suite in ``benchmarks/`` wraps these
+functions with ``pytest-benchmark`` and records the measured numbers in
+EXPERIMENTS.md.
+"""
+
+from .fig1_decision_boundary import run_decision_boundary_experiment
+from .fig2_ablation import (
+    run_dropout_ablation, run_normalization_ablation,
+    run_depth_ablation, run_activation_ablation,
+)
+from .fig3_classification import run_classification_comparison, FIG3_PANELS
+from .fig3_detection import run_detection_comparison
+from .fig4_detection_visualization import run_detection_visualization
+from .ablation_search import run_bo_vs_random_ablation, run_sigma_sensitivity_ablation
+
+__all__ = [
+    "run_decision_boundary_experiment",
+    "run_dropout_ablation", "run_normalization_ablation",
+    "run_depth_ablation", "run_activation_ablation",
+    "run_classification_comparison", "FIG3_PANELS",
+    "run_detection_comparison", "run_detection_visualization",
+    "run_bo_vs_random_ablation", "run_sigma_sensitivity_ablation",
+]

@@ -1,0 +1,88 @@
+"""Design-choice ablations for the BayesFT search itself.
+
+Two studies that the DESIGN.md inventory calls out:
+
+* **BO vs random search** over the dropout-rate space with the same trial
+  budget — quantifies what the Gaussian-process surrogate buys.
+* **Search-σ sensitivity** — how the σ used inside the search objective
+  (Eq. 3–4) affects robustness across the evaluation sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import BayesFT
+from ..data.mnist import SyntheticMNIST
+from ..data.loader import train_test_split
+from ..evaluation.robustness import robustness_curve
+from ..evaluation.statistics import curve_auc
+from ..models.registry import build_model
+from ..utils.config import ExperimentConfig
+from ..utils.rng import get_rng
+
+__all__ = ["run_bo_vs_random_ablation", "run_sigma_sensitivity_ablation"]
+
+
+def _make_split(config: ExperimentConfig, rng):
+    dataset = SyntheticMNIST(n_samples=config.train_samples + config.test_samples,
+                             image_size=16, rng=rng)
+    fraction = config.test_samples / (config.train_samples + config.test_samples)
+    return train_test_split(dataset, test_fraction=fraction, rng=rng)
+
+
+def run_bo_vs_random_ablation(config: ExperimentConfig | None = None,
+                              seed: int = 0) -> dict:
+    """Same trial budget, GP-BO vs uniform random search over α."""
+    config = config or ExperimentConfig()
+    rng = get_rng(seed)
+    train_set, test_set = _make_split(config, rng)
+
+    results = {}
+    for kind in ("bayes", "random"):
+        model = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=rng)
+        searcher = BayesFT(sigma=0.6, n_trials=config.bo_trials,
+                           epochs_per_trial=max(1, config.epochs // 2),
+                           monte_carlo_samples=config.monte_carlo_samples,
+                           batch_size=config.batch_size,
+                           learning_rate=config.learning_rate,
+                           optimizer_kind=kind, rng=rng)
+        outcome = searcher.fit(model, train_set)
+        curve = robustness_curve(model, test_set, sigmas=config.sigma_grid,
+                                 trials=config.drift_trials,
+                                 label=f"search={kind}", rng=rng)
+        results[kind] = {
+            "best_objective": outcome.best_objective,
+            "objective_trace": list(outcome.trial_objectives),
+            "best_alpha": outcome.best_alpha.tolist(),
+            "curve": curve,
+            "auc": curve_auc(curve),
+        }
+    return results
+
+
+def run_sigma_sensitivity_ablation(config: ExperimentConfig | None = None,
+                                   search_sigmas: tuple = (0.2, 0.6, 1.0),
+                                   seed: int = 0) -> dict:
+    """Effect of the σ used inside the search objective on the final curve."""
+    config = config or ExperimentConfig()
+    rng = get_rng(seed)
+    train_set, test_set = _make_split(config, rng)
+
+    results = {"search_sigmas": list(search_sigmas), "curves": [], "aucs": []}
+    for sigma in search_sigmas:
+        model = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=rng)
+        searcher = BayesFT(sigma=float(sigma), n_trials=config.bo_trials,
+                           epochs_per_trial=max(1, config.epochs // 2),
+                           monte_carlo_samples=config.monte_carlo_samples,
+                           batch_size=config.batch_size,
+                           learning_rate=config.learning_rate, rng=rng)
+        searcher.fit(model, train_set)
+        curve = robustness_curve(model, test_set, sigmas=config.sigma_grid,
+                                 trials=config.drift_trials,
+                                 label=f"search_sigma={sigma}", rng=rng)
+        results["curves"].append(curve)
+        results["aucs"].append(curve_auc(curve))
+    best_index = int(np.argmax(results["aucs"]))
+    results["best_search_sigma"] = float(search_sigmas[best_index])
+    return results

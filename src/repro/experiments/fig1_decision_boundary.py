@@ -1,0 +1,69 @@
+"""Figure 1: decision-boundary shift under memristance drift.
+
+A small MLP is trained on a 2-D binary dataset (two moons); the decision
+boundary is then rasterised onto a grid for several drift levels σ,
+showing how the boundary deforms and accuracy drops as σ grows — the
+paper's motivating visualisation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.toy import ToyDataset
+from ..data.loader import train_test_split
+from ..evaluation.robustness import accuracy, accuracy_under_drift
+from ..fault.drift import LogNormalDrift
+from ..fault.injector import fault_injection
+from ..models.mlp import MLP
+from ..nn.tensor import Tensor, no_grad
+from ..training.trainer import train_classifier
+from ..utils.rng import get_rng
+
+__all__ = ["run_decision_boundary_experiment"]
+
+
+def run_decision_boundary_experiment(sigmas: Sequence[float] = (0.0, 0.5, 1.0, 1.5),
+                                     n_samples: int = 400, epochs: int = 30,
+                                     grid_resolution: int = 40, trials: int = 3,
+                                     seed: int = 0) -> dict:
+    """Train the Fig.-1 toy classifier and rasterise its boundary per σ.
+
+    Returns a dict with the training data, the grid geometry, one boundary
+    map per σ (class-1 probability over the grid) and the accuracy
+    degradation curve.
+    """
+    rng = get_rng(seed)
+    dataset = ToyDataset("moons", n_samples=n_samples, noise=0.15, rng=rng)
+    train_set, test_set = train_test_split(dataset, test_fraction=0.3, rng=rng)
+
+    model = MLP(input_dim=2, hidden_dims=(32, 32), num_classes=2,
+                dropout="dropout", dropout_rate=0.0, rng=rng)
+    train_classifier(model, train_set, epochs=epochs, batch_size=32,
+                     learning_rate=0.1, rng=rng)
+
+    grid_points, grid_shape = dataset.grid(resolution=grid_resolution)
+    boundaries = {}
+    accuracies = {}
+    for sigma in sigmas:
+        model.eval()
+        with fault_injection(model, LogNormalDrift(sigma), rng=rng):
+            with no_grad():
+                logits = model(Tensor(grid_points)).data
+            exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+            probabilities = exp / exp.sum(axis=1, keepdims=True)
+            boundaries[float(sigma)] = probabilities[:, 1].reshape(grid_shape)
+        mean, std = accuracy_under_drift(model, test_set, sigma, trials=trials, rng=rng)
+        accuracies[float(sigma)] = {"mean": mean, "std": std}
+
+    return {
+        "train_points": train_set.inputs,
+        "train_labels": train_set.labels,
+        "grid_shape": grid_shape,
+        "sigmas": [float(s) for s in sigmas],
+        "boundaries": boundaries,
+        "accuracies": accuracies,
+        "clean_accuracy": accuracy(model, test_set),
+    }

@@ -1,0 +1,22 @@
+"""Fault models for ReRAM-deployed neural networks.
+
+The central model is the multiplicative log-normal *memristance drift* of
+Eq. (1) in the paper: ``θ' = θ · exp(λ)`` with ``λ ~ N(0, σ²)``.  The package
+also provides additive Gaussian drift, uniform drift, stuck-at faults and
+bit-flip faults so that the methodology can be exercised on "other possible
+weight drifting distributions" as the paper notes.
+"""
+
+from .drift import (
+    DriftModel, LogNormalDrift, GaussianDrift, UniformDrift,
+    StuckAtFault, BitFlipFault, CompositeFault, drift_array,
+)
+from .injector import FaultInjector, inject_faults, fault_injection
+from .policy import LayerFaultPolicy, UniformPolicy, PerLayerSigmaPolicy
+
+__all__ = [
+    "DriftModel", "LogNormalDrift", "GaussianDrift", "UniformDrift",
+    "StuckAtFault", "BitFlipFault", "CompositeFault", "drift_array",
+    "FaultInjector", "inject_faults", "fault_injection",
+    "LayerFaultPolicy", "UniformPolicy", "PerLayerSigmaPolicy",
+]

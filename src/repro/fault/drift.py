@@ -1,0 +1,192 @@
+"""Weight-drift distributions.
+
+Each :class:`DriftModel` maps a clean weight array to a perturbed copy.
+``LogNormalDrift`` is the paper's Eq. (1); the other models exist for the
+"other possible weight drifting distributions" extension mentioned in §II-B
+and for ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+__all__ = [
+    "DriftModel", "LogNormalDrift", "GaussianDrift", "UniformDrift",
+    "StuckAtFault", "BitFlipFault", "CompositeFault", "drift_array",
+]
+
+
+class DriftModel:
+    """Base class: a stochastic transformation of a weight array."""
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a drifted copy of ``weights`` (the input is never modified)."""
+        raise NotImplementedError
+
+    def __call__(self, weights: np.ndarray, rng=None) -> np.ndarray:
+        return self.perturb(np.asarray(weights, dtype=np.float64), get_rng(rng))
+
+    def expected_relative_error(self) -> float:
+        """Analytic (or approximate) expected relative weight error, if known."""
+        raise NotImplementedError(f"{type(self).__name__} has no closed-form error")
+
+
+class LogNormalDrift(DriftModel):
+    """Multiplicative log-normal memristance drift, Eq. (1) of the paper.
+
+    ``θ' = θ · exp(λ)`` with ``λ ~ N(0, σ²)``.  ``σ`` ("resistance variation")
+    is the x-axis of every robustness figure in the paper.
+    """
+
+    def __init__(self, sigma: float):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = float(sigma)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0.0:
+            return weights.copy()
+        lam = rng.normal(0.0, self.sigma, size=weights.shape)
+        return weights * np.exp(lam)
+
+    def expected_relative_error(self) -> float:
+        """E|exp(λ) - 1| for λ ~ N(0, σ²) via the folded-lognormal mean."""
+        from scipy.stats import norm
+        sigma = self.sigma
+        if sigma == 0.0:
+            return 0.0
+        # E[exp(λ)] = exp(σ²/2);   E|exp(λ)-1| has a closed form via the CDF.
+        return float(2 * norm.cdf(sigma / 2) - 1
+                     + np.exp(sigma ** 2 / 2) * (2 * norm.cdf(sigma / 2) - 1))
+
+    def __repr__(self) -> str:
+        return f"LogNormalDrift(sigma={self.sigma})"
+
+
+class GaussianDrift(DriftModel):
+    """Additive Gaussian drift relative to the weight magnitude.
+
+    ``θ' = θ + σ·|θ|·ε`` with ``ε ~ N(0, 1)``.
+    """
+
+    def __init__(self, sigma: float, relative: bool = True):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = float(sigma)
+        self.relative = relative
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0.0:
+            return weights.copy()
+        noise = rng.normal(0.0, self.sigma, size=weights.shape)
+        scale = np.abs(weights) if self.relative else 1.0
+        return weights + scale * noise
+
+    def __repr__(self) -> str:
+        return f"GaussianDrift(sigma={self.sigma}, relative={self.relative})"
+
+
+class UniformDrift(DriftModel):
+    """Multiplicative uniform drift ``θ' = θ·(1 + U(-a, a))``."""
+
+    def __init__(self, amplitude: float):
+        if amplitude < 0:
+            raise ValueError("amplitude must be non-negative")
+        self.amplitude = float(amplitude)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.amplitude == 0.0:
+            return weights.copy()
+        factor = 1.0 + rng.uniform(-self.amplitude, self.amplitude, size=weights.shape)
+        return weights * factor
+
+    def __repr__(self) -> str:
+        return f"UniformDrift(amplitude={self.amplitude})"
+
+
+class StuckAtFault(DriftModel):
+    """Stuck-at faults: each cell is stuck at a fixed value with some probability.
+
+    Models ReRAM cells whose conductance is pinned at the high-resistance
+    (``stuck_value=0``) or low-resistance extreme after programming failure.
+    """
+
+    def __init__(self, probability: float, stuck_value: float = 0.0):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        self.probability = float(probability)
+        self.stuck_value = float(stuck_value)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.probability == 0.0:
+            return weights.copy()
+        mask = rng.random(weights.shape) < self.probability
+        drifted = weights.copy()
+        drifted[mask] = self.stuck_value
+        return drifted
+
+    def __repr__(self) -> str:
+        return f"StuckAtFault(probability={self.probability}, stuck_value={self.stuck_value})"
+
+
+class BitFlipFault(DriftModel):
+    """Bit-flip faults on a fixed-point representation of the weights.
+
+    Weights are quantised to signed ``bits``-bit fixed point over the range
+    ``[-max_abs, max_abs]`` (``max_abs`` defaults to the array's maximum
+    magnitude), random bits are flipped with probability ``flip_probability``
+    per bit, and the result is dequantised.
+    """
+
+    def __init__(self, flip_probability: float, bits: int = 8):
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError("flip_probability must lie in [0, 1]")
+        if bits < 2 or bits > 16:
+            raise ValueError("bits must be between 2 and 16")
+        self.flip_probability = float(flip_probability)
+        self.bits = int(bits)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.flip_probability == 0.0:
+            return weights.copy()
+        max_abs = np.abs(weights).max()
+        if max_abs == 0.0:
+            return weights.copy()
+        levels = 2 ** (self.bits - 1) - 1
+        quantised = np.clip(np.round(weights / max_abs * levels), -levels, levels)
+        as_int = quantised.astype(np.int64) + levels  # shift to unsigned range
+        flips = np.zeros_like(as_int)
+        for bit in range(self.bits):
+            flip_mask = rng.random(weights.shape) < self.flip_probability
+            flips += flip_mask.astype(np.int64) << bit
+        corrupted = (as_int ^ flips) - levels
+        return corrupted.astype(np.float64) / levels * max_abs
+
+    def __repr__(self) -> str:
+        return f"BitFlipFault(flip_probability={self.flip_probability}, bits={self.bits})"
+
+
+class CompositeFault(DriftModel):
+    """Apply several drift models in sequence (e.g. drift then stuck-at)."""
+
+    def __init__(self, *models: DriftModel):
+        if not models:
+            raise ValueError("CompositeFault needs at least one model")
+        self.models = tuple(models)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        drifted = weights
+        for model in self.models:
+            drifted = model.perturb(np.asarray(drifted, dtype=np.float64), rng)
+        return drifted
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(m) for m in self.models)
+        return f"CompositeFault({inner})"
+
+
+def drift_array(weights: np.ndarray, sigma: float, rng=None) -> np.ndarray:
+    """Convenience helper: apply Eq. (1) log-normal drift to a raw array."""
+    return LogNormalDrift(sigma)(weights, rng)

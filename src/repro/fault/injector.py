@@ -1,0 +1,121 @@
+"""Injecting faults into a :class:`~repro.nn.module.Module`.
+
+The paper's experimental protocol is: train the network off-line with clean
+weights, then evaluate it with drifted weights to simulate deployment on a
+ReRAM device.  :class:`FaultInjector` snapshots the model's parameters,
+overwrites them with drifted copies, and restores the originals afterwards —
+either explicitly or through the :func:`fault_injection` context manager.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Module
+from ..utils.rng import get_rng
+from .drift import DriftModel, LogNormalDrift
+from .policy import LayerFaultPolicy, UniformPolicy
+
+__all__ = ["FaultInjector", "inject_faults", "fault_injection"]
+
+
+class FaultInjector:
+    """Applies a drift model (or per-layer policy) to a model's parameters.
+
+    Parameters
+    ----------
+    model:
+        The network whose parameters will be drifted.
+    drift:
+        Either a single :class:`DriftModel` applied to every parameter or a
+        :class:`LayerFaultPolicy` that chooses a model per parameter name.
+    skip:
+        Iterable of substrings; parameters whose dotted name contains any of
+        them are left untouched (e.g. ``("running_mean",)`` — though buffers
+        are never drifted anyway since they are not ReRAM-resident weights).
+    rng:
+        Generator or seed for reproducible drift sampling.
+    """
+
+    def __init__(self, model: Module, drift: DriftModel | LayerFaultPolicy,
+                 skip: Iterable[str] = (), rng=None):
+        self.model = model
+        if isinstance(drift, DriftModel):
+            drift = UniformPolicy(drift)
+        self.policy = drift
+        self.skip = tuple(skip)
+        self.rng = get_rng(rng)
+        self._snapshot: dict[str, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> None:
+        """Record the clean parameter values."""
+        self._snapshot = {name: parameter.data.copy()
+                          for name, parameter in self.model.named_parameters()}
+
+    def inject(self) -> dict[str, float]:
+        """Overwrite parameters with drifted copies.
+
+        Returns a mapping from parameter name to the mean absolute relative
+        perturbation applied, useful for diagnostics and tests.
+        """
+        if self._snapshot is None:
+            self.snapshot()
+        report: dict[str, float] = {}
+        for name, parameter in self.model.named_parameters():
+            if any(token in name for token in self.skip):
+                continue
+            clean = self._snapshot[name]
+            model = self.policy.model_for(name)
+            if model is None:
+                continue
+            drifted = model.perturb(clean, self.rng)
+            denom = np.maximum(np.abs(clean), 1e-12)
+            report[name] = float(np.mean(np.abs(drifted - clean) / denom))
+            parameter.data = drifted
+        return report
+
+    def restore(self) -> None:
+        """Put the clean weights back."""
+        if self._snapshot is None:
+            return
+        for name, parameter in self.model.named_parameters():
+            if name in self._snapshot:
+                parameter.data = self._snapshot[name].copy()
+
+    def clear(self) -> None:
+        """Drop the stored snapshot (restores first if still drifted)."""
+        self.restore()
+        self._snapshot = None
+
+
+def inject_faults(model: Module, sigma: float, rng=None,
+                  skip: Iterable[str] = ()) -> FaultInjector:
+    """Inject Eq. (1) log-normal drift of strength ``sigma`` into ``model``.
+
+    Returns the injector so that the caller can ``restore()`` the weights.
+    """
+    injector = FaultInjector(model, LogNormalDrift(sigma), skip=skip, rng=rng)
+    injector.inject()
+    return injector
+
+
+@contextlib.contextmanager
+def fault_injection(model: Module, drift: DriftModel | LayerFaultPolicy | float,
+                    rng=None, skip: Iterable[str] = ()):
+    """Context manager: drift the model inside the block, restore on exit.
+
+    ``drift`` may be a float (interpreted as the log-normal σ), a
+    :class:`DriftModel`, or a :class:`LayerFaultPolicy`.
+    """
+    if isinstance(drift, (int, float)):
+        drift = LogNormalDrift(float(drift))
+    injector = FaultInjector(model, drift, skip=skip, rng=rng)
+    injector.inject()
+    try:
+        yield injector
+    finally:
+        injector.restore()

@@ -1,0 +1,67 @@
+"""Per-layer fault policies.
+
+A policy decides which :class:`~repro.fault.drift.DriftModel` applies to each
+named parameter.  The paper drifts every weight identically (a
+:class:`UniformPolicy`), but per-layer policies are useful for the ablation
+benches (e.g. "what if only the first layer drifts?") and for modelling
+heterogeneous crossbars.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from .drift import DriftModel, LogNormalDrift
+
+__all__ = ["LayerFaultPolicy", "UniformPolicy", "PerLayerSigmaPolicy"]
+
+
+class LayerFaultPolicy:
+    """Base class mapping parameter names to drift models."""
+
+    def model_for(self, parameter_name: str) -> DriftModel | None:
+        """Return the drift model for this parameter, or ``None`` to skip it."""
+        raise NotImplementedError
+
+
+class UniformPolicy(LayerFaultPolicy):
+    """Apply the same drift model to every parameter (the paper's setting)."""
+
+    def __init__(self, model: DriftModel):
+        self.model = model
+
+    def model_for(self, parameter_name: str) -> DriftModel | None:
+        return self.model
+
+    def __repr__(self) -> str:
+        return f"UniformPolicy({self.model!r})"
+
+
+class PerLayerSigmaPolicy(LayerFaultPolicy):
+    """Log-normal drift whose σ depends on the parameter name.
+
+    Parameters
+    ----------
+    sigma_map:
+        Mapping from regular-expression pattern to σ.  The first pattern that
+        matches (``re.search``) the parameter name wins.
+    default_sigma:
+        σ used when no pattern matches; ``None`` leaves unmatched parameters
+        clean.
+    """
+
+    def __init__(self, sigma_map: Mapping[str, float], default_sigma: float | None = None):
+        self._rules = [(re.compile(pattern), LogNormalDrift(sigma))
+                       for pattern, sigma in sigma_map.items()]
+        self._default = None if default_sigma is None else LogNormalDrift(default_sigma)
+
+    def model_for(self, parameter_name: str) -> DriftModel | None:
+        for pattern, model in self._rules:
+            if pattern.search(parameter_name):
+                return model
+        return self._default
+
+    def __repr__(self) -> str:
+        rules = {p.pattern: m.sigma for p, m in self._rules}
+        return f"PerLayerSigmaPolicy({rules}, default={self._default!r})"

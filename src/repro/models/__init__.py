@@ -1,0 +1,23 @@
+"""Model zoo: the architectures evaluated in the paper, scaled for CPU.
+
+Every classifier inserts a :class:`~repro.nn.layers.dropout.Dropout` layer
+after each trainable block (with rate 0 by default), matching the BayesFT
+search-space design: the search only re-configures those dropout rates.
+"""
+
+from .mlp import MLP, build_mlp
+from .lenet import LeNet5
+from .alexnet import AlexNetS
+from .vgg import VGG11S
+from .resnet import ResNet18S
+from .preact_resnet import PreActResNetS, preact_resnet18, preact_resnet50, preact_resnet152
+from .stn import SpatialTransformerClassifier
+from .detection import TinyDetector
+from .registry import build_model, available_models
+
+__all__ = [
+    "MLP", "build_mlp", "LeNet5", "AlexNetS", "VGG11S", "ResNet18S",
+    "PreActResNetS", "preact_resnet18", "preact_resnet50", "preact_resnet152",
+    "SpatialTransformerClassifier", "TinyDetector",
+    "build_model", "available_models",
+]

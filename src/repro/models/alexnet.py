@@ -1,0 +1,63 @@
+"""AlexNet-style convolutional network scaled for small images (Fig. 3c)."""
+
+from __future__ import annotations
+
+from ..nn.module import Module, Sequential
+from ..nn.layers import Conv2d, Linear, MaxPool2d, ReLU, Dropout, Flatten
+from ..nn.tensor import Tensor
+
+__all__ = ["AlexNetS"]
+
+
+class AlexNetS(Module):
+    """A small AlexNet: five conv layers, three fully connected layers.
+
+    The original 224x224 geometry is rescaled to small synthetic-CIFAR
+    inputs; the layer sequence (conv-pool-conv-pool-conv-conv-conv-pool,
+    then FC-FC-FC with dropout) follows AlexNet.  ``width`` scales all
+    channel counts.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 image_size: int = 16, width: int = 8, dropout_rate: float = 0.0,
+                 rng=None):
+        super().__init__()
+        if image_size % 8 != 0:
+            raise ValueError("image_size must be divisible by 8 (three 2x2 pools)")
+        w = width
+        self.features = Sequential(
+            Conv2d(in_channels, w, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            MaxPool2d(2),
+            Conv2d(w, w * 2, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            MaxPool2d(2),
+            Conv2d(w * 2, w * 4, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            Conv2d(w * 4, w * 4, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            Conv2d(w * 4, w * 2, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            MaxPool2d(2),
+        )
+        spatial = image_size // 8
+        flat = w * 2 * spatial * spatial
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(flat, 128, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            Linear(128, 64, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            Linear(64, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

@@ -1,0 +1,191 @@
+"""TinyDetector: a small anchor-free single-stage pedestrian detector.
+
+The paper uses Mask-RCNN on PennFudanPed; a two-stage instance-segmentation
+network is far outside a CPU/numpy budget, but the Figure 3(j) / Figure 4
+comparison only requires *a detector whose mAP degrades as its weights
+drift*.  TinyDetector is a CenterNet-style dense predictor: a convolutional
+backbone produces a G x G grid of cells, and each cell predicts an
+objectness logit plus a box parameterised as (dx, dy, log w, log h) relative
+to the cell centre.  Ground-truth boxes are assigned to the cell containing
+their centre; inference applies a score threshold followed by non-maximum
+suppression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module, Sequential
+from ..nn.layers import Conv2d, ReLU, Dropout, MaxPool2d
+from ..nn.losses import bce_with_logits
+from ..nn.tensor import Tensor
+
+__all__ = ["TinyDetector", "Detection", "box_iou", "non_max_suppression"]
+
+
+@dataclass
+class Detection:
+    """One predicted box with its confidence score."""
+
+    box: np.ndarray    # (4,) x1, y1, x2, y2 in pixels
+    score: float
+
+
+def box_iou(box_a: np.ndarray, box_b: np.ndarray) -> float:
+    """Intersection-over-union of two (x1, y1, x2, y2) boxes."""
+    x1 = max(box_a[0], box_b[0])
+    y1 = max(box_a[1], box_b[1])
+    x2 = min(box_a[2], box_b[2])
+    y2 = min(box_a[3], box_b[3])
+    intersection = max(0.0, x2 - x1) * max(0.0, y2 - y1)
+    area_a = max(0.0, box_a[2] - box_a[0]) * max(0.0, box_a[3] - box_a[1])
+    area_b = max(0.0, box_b[2] - box_b[0]) * max(0.0, box_b[3] - box_b[1])
+    union = area_a + area_b - intersection
+    return float(intersection / union) if union > 0 else 0.0
+
+
+def non_max_suppression(detections: list[Detection], iou_threshold: float = 0.4) -> list[Detection]:
+    """Greedy NMS keeping the highest-scoring box in each overlapping cluster."""
+    ordered = sorted(detections, key=lambda d: d.score, reverse=True)
+    kept: list[Detection] = []
+    for candidate in ordered:
+        if all(box_iou(candidate.box, existing.box) < iou_threshold for existing in kept):
+            kept.append(candidate)
+    return kept
+
+
+class TinyDetector(Module):
+    """Dense single-stage detector over a ``grid_size`` x ``grid_size`` cell grid."""
+
+    def __init__(self, image_size: int = 32, in_channels: int = 3, width: int = 8,
+                 grid_size: int = 8, dropout_rate: float = 0.0, rng=None):
+        super().__init__()
+        if image_size % grid_size != 0:
+            raise ValueError("image_size must be divisible by grid_size")
+        downsample = image_size // grid_size
+        if downsample not in (2, 4, 8):
+            raise ValueError("image_size / grid_size must be 2, 4 or 8")
+        layers = Sequential(
+            Conv2d(in_channels, width, 3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            MaxPool2d(2),
+        )
+        channels = width
+        remaining = downsample // 2
+        stage = 0
+        while remaining > 1:
+            layers.add(Conv2d(channels, channels * 2, 3, padding=1, rng=rng),
+                       name=f"conv{stage}")
+            layers.add(ReLU(), name=f"act{stage}")
+            layers.add(Dropout(dropout_rate, rng=rng), name=f"dropout{stage}")
+            layers.add(MaxPool2d(2), name=f"pool{stage}")
+            channels *= 2
+            remaining //= 2
+            stage += 1
+        self.backbone = layers
+        # 5 output channels per cell: objectness, dx, dy, log w, log h.
+        self.head = Conv2d(channels, 5, 3, padding=1, rng=rng)
+        self.image_size = image_size
+        self.grid_size = grid_size
+        self.cell = image_size / grid_size
+
+    # ------------------------------------------------------------------ #
+    # Forward / encoding
+    # ------------------------------------------------------------------ #
+    def forward(self, images: Tensor) -> Tensor:
+        """Raw prediction map of shape (N, 5, grid, grid)."""
+        return self.head(self.backbone(images))
+
+    def encode_targets(self, boxes_per_image: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build dense training targets.
+
+        Returns ``(objectness, box_targets, mask)`` with shapes
+        ``(N, grid, grid)``, ``(N, 4, grid, grid)`` and ``(N, grid, grid)``.
+        """
+        n = len(boxes_per_image)
+        g = self.grid_size
+        objectness = np.zeros((n, g, g))
+        box_targets = np.zeros((n, 4, g, g))
+        mask = np.zeros((n, g, g))
+        for index, boxes in enumerate(boxes_per_image):
+            for box in boxes:
+                cx = (box[0] + box[2]) / 2.0
+                cy = (box[1] + box[3]) / 2.0
+                col = min(g - 1, int(cx / self.cell))
+                row = min(g - 1, int(cy / self.cell))
+                width = max(box[2] - box[0], 1.0)
+                height = max(box[3] - box[1], 1.0)
+                objectness[index, row, col] = 1.0
+                mask[index, row, col] = 1.0
+                box_targets[index, 0, row, col] = cx / self.cell - col
+                box_targets[index, 1, row, col] = cy / self.cell - row
+                box_targets[index, 2, row, col] = np.log(width / self.cell)
+                box_targets[index, 3, row, col] = np.log(height / self.cell)
+        return objectness, box_targets, mask
+
+    def loss(self, images: Tensor, boxes_per_image: list[np.ndarray]) -> Tensor:
+        """Objectness BCE + masked smooth-L1 box regression."""
+        predictions = self.forward(images)
+        objectness_logits = predictions[:, 0, :, :]
+        box_predictions = predictions[:, 1:, :, :]
+        objectness, box_targets, mask = self.encode_targets(boxes_per_image)
+        obj_loss = bce_with_logits(objectness_logits, objectness)
+        positives = float(mask.sum())
+        if positives > 0:
+            # Smooth-L1 on assigned cells only, averaged over the positives.
+            mask4 = Tensor(np.broadcast_to(mask[:, None, :, :], box_targets.shape).copy())
+            diff = (box_predictions - Tensor(box_targets)) * mask4
+            abs_diff = diff.abs()
+            quadratic = diff * diff * 0.5
+            linear = abs_diff - 0.5
+            small = Tensor((abs_diff.data < 1.0).astype(np.float64))
+            elementwise = quadratic * small + linear * (Tensor(1.0) - small)
+            box_loss = elementwise.sum() * (1.0 / (4.0 * positives))
+        else:
+            box_loss = Tensor(0.0)
+        return obj_loss + box_loss * 0.5
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def decode(self, predictions: np.ndarray, score_threshold: float = 0.5,
+               iou_threshold: float = 0.4, max_detections: int = 10) -> list[list[Detection]]:
+        """Convert a raw prediction map into per-image detection lists."""
+        results: list[list[Detection]] = []
+        g = self.grid_size
+        for image_prediction in predictions:
+            scores = 1.0 / (1.0 + np.exp(-image_prediction[0]))
+            detections: list[Detection] = []
+            candidate_cells = np.argwhere(scores >= score_threshold)
+            # Fall back to the best few cells if nothing clears the threshold,
+            # so mAP can still rank predictions of a degraded model.
+            if candidate_cells.size == 0:
+                flat = np.argsort(scores.ravel())[::-1][:3]
+                candidate_cells = np.stack(np.unravel_index(flat, scores.shape), axis=1)
+            for row, col in candidate_cells:
+                dx, dy = image_prediction[1, row, col], image_prediction[2, row, col]
+                log_w = np.clip(image_prediction[3, row, col], -4.0, 4.0)
+                log_h = np.clip(image_prediction[4, row, col], -4.0, 4.0)
+                cx = (col + dx) * self.cell
+                cy = (row + dy) * self.cell
+                width = np.exp(log_w) * self.cell
+                height = np.exp(log_h) * self.cell
+                box = np.array([cx - width / 2, cy - height / 2,
+                                cx + width / 2, cy + height / 2])
+                box = np.clip(box, 0, self.image_size)
+                detections.append(Detection(box=box, score=float(scores[row, col])))
+            detections = non_max_suppression(detections, iou_threshold)[:max_detections]
+            results.append(detections)
+        return results
+
+    def detect(self, images: np.ndarray, score_threshold: float = 0.5) -> list[list[Detection]]:
+        """End-to-end inference on an (N, 3, H, W) image batch."""
+        from ..nn.tensor import no_grad
+        self.eval()
+        with no_grad():
+            predictions = self.forward(Tensor(images)).data
+        return self.decode(predictions, score_threshold=score_threshold)

@@ -1,0 +1,54 @@
+"""LeNet-5 style convolutional network (MNIST experiments, Fig. 3b)."""
+
+from __future__ import annotations
+
+from ..nn.module import Module, Sequential
+from ..nn.layers import Conv2d, Linear, MaxPool2d, ReLU, Dropout, Flatten
+from ..nn.tensor import Tensor
+
+__all__ = ["LeNet5"]
+
+
+class LeNet5(Module):
+    """A LeNet-5 variant for small single-channel images.
+
+    The classic architecture (two conv+pool stages followed by three fully
+    connected layers) is preserved; channel widths scale with ``width`` and
+    the spatial geometry adapts to ``image_size`` so that the same class
+    works for 16x16 synthetic digits and 28x28 MNIST-sized inputs.  Dropout
+    layers (rate 0 by default) follow every trainable stage for BayesFT.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 1,
+                 image_size: int = 16, width: int = 6, dropout_rate: float = 0.0,
+                 rng=None):
+        super().__init__()
+        if image_size % 4 != 0:
+            raise ValueError("image_size must be divisible by 4 (two 2x2 pools)")
+        c1, c2 = width, width * 2
+        self.features = Sequential(
+            Conv2d(in_channels, c1, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            MaxPool2d(2),
+            Conv2d(c1, c2, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            MaxPool2d(2),
+        )
+        spatial = image_size // 4
+        flat = c2 * spatial * spatial
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(flat, 64, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            Linear(64, 32, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            Linear(32, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

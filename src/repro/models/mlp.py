@@ -1,0 +1,101 @@
+"""Multi-layer perceptron with configurable robustness-relevant components.
+
+This is the workhorse of the paper's Figure 2 ablation: its constructor
+exposes exactly the architectural factors the paper varies — dropout type,
+normalisation type, depth (number of hidden layers) and activation function —
+so the ablation harness can sweep each factor independently.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..nn.module import Module, Sequential
+from ..nn.layers import (
+    Linear, Dropout, AlphaDropout, Flatten,
+    BatchNorm1d, LayerNorm, Identity,
+)
+from ..nn.layers.activations import make_activation
+from ..nn.tensor import Tensor
+
+__all__ = ["MLP", "build_mlp"]
+
+
+def _make_norm(kind: str | None, width: int) -> Module:
+    if kind is None or kind == "none":
+        return Identity()
+    if kind == "batch":
+        return BatchNorm1d(width)
+    if kind == "layer":
+        return LayerNorm(width)
+    raise ValueError(f"unsupported MLP normalisation {kind!r} (use none/batch/layer)")
+
+
+def _make_dropout(kind: str, rate: float, rng=None) -> Module:
+    if kind == "dropout":
+        return Dropout(rate, rng=rng)
+    if kind == "alpha":
+        return AlphaDropout(rate, rng=rng)
+    raise ValueError(f"unsupported dropout kind {kind!r} (use none/dropout/alpha)")
+
+
+class MLP(Module):
+    """Fully connected classifier.
+
+    Parameters
+    ----------
+    input_dim:
+        Flattened input dimensionality.
+    hidden_dims:
+        Width of each hidden layer; the number of entries is the depth.
+    num_classes:
+        Output dimensionality.
+    activation:
+        ``"relu"``, ``"leaky_relu"``, ``"elu"`` or ``"gelu"`` (Fig. 2d factors).
+    normalization:
+        ``"none"``, ``"batch"`` or ``"layer"`` (Fig. 2b factors).
+    dropout:
+        ``"none"``, ``"dropout"`` or ``"alpha"`` (Fig. 2a factors).
+    dropout_rate:
+        Initial rate for every dropout layer; BayesFT later overrides these
+        per layer.
+    """
+
+    def __init__(self, input_dim: int, hidden_dims: Sequence[int] = (128, 64),
+                 num_classes: int = 10, activation: str = "relu",
+                 normalization: str = "none", dropout: str = "dropout",
+                 dropout_rate: float = 0.0, rng=None):
+        super().__init__()
+        if input_dim <= 0 or num_classes <= 0:
+            raise ValueError("input_dim and num_classes must be positive")
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        self.hidden_dims = tuple(hidden_dims)
+        body = Sequential()
+        body.add(Flatten(), name="flatten")
+        previous = input_dim
+        for index, width in enumerate(hidden_dims):
+            body.add(Linear(previous, width, rng=rng), name=f"linear{index}")
+            body.add(_make_norm(normalization, width), name=f"norm{index}")
+            body.add(make_activation(activation), name=f"act{index}")
+            if dropout != "none":
+                body.add(_make_dropout(dropout, dropout_rate, rng=rng), name=f"dropout{index}")
+            previous = width
+        body.add(Linear(previous, num_classes, rng=rng), name="head")
+        self.body = body
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+def build_mlp(input_dim: int, depth: int = 3, width: int = 128, num_classes: int = 10,
+              **kwargs) -> MLP:
+    """Build an MLP with ``depth`` total layers (``depth - 1`` hidden layers).
+
+    This matches the paper's "3-layer / 6-layer / 9-layer MLP" terminology in
+    Figure 2(c), where the count includes the output layer.
+    """
+    if depth < 2:
+        raise ValueError("depth must be at least 2 (one hidden + one output layer)")
+    hidden = [width] * (depth - 1)
+    return MLP(input_dim, hidden, num_classes, **kwargs)

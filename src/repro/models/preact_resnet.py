@@ -1,0 +1,147 @@
+"""Pre-activation ResNets (He et al., ECCV 2016) — Fig. 3(f)-(h).
+
+The paper compares PreAct-18, PreAct-50 and PreAct-152 to show that deeper
+networks degrade faster under weight drift.  The block counts follow the
+original paper exactly (18: 2-2-2-2 basic, 50: 3-4-6-3 bottleneck,
+152: 3-8-36-3 bottleneck); channel widths are scaled down by ``width`` so the
+models train on CPU.  A ``depth_scale`` argument lets benchmarks shrink the
+block counts proportionally when wall-clock budget matters while preserving
+the 18 < 50 < 152 depth ordering.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..nn import functional as F
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.layers import (
+    Conv2d, Linear, Dropout, Flatten, GlobalAvgPool2d, BatchNorm2d, Identity,
+)
+from ..nn.tensor import Tensor
+
+__all__ = ["PreActResNetS", "preact_resnet18", "preact_resnet50", "preact_resnet152"]
+
+
+class PreActBasicBlock(Module):
+    """Pre-activation basic block: BN-ReLU-conv-BN-ReLU-conv + skip."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 dropout_rate: float = 0.0, use_norm: bool = True, rng=None):
+        super().__init__()
+        self.norm1 = BatchNorm2d(in_channels) if use_norm else Identity()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=not use_norm, rng=rng)
+        self.norm2 = BatchNorm2d(out_channels) if use_norm else Identity()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1,
+                            bias=not use_norm, rng=rng)
+        self.dropout = Dropout(dropout_rate, rng=rng)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2d(in_channels, out_channels, 1, stride=stride, rng=rng)
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        pre = F.relu(self.norm1(x))
+        out = self.conv1(pre)
+        out = self.dropout(out)
+        out = self.conv2(F.relu(self.norm2(out)))
+        return out + self.shortcut(x)
+
+
+class PreActBottleneckBlock(Module):
+    """Pre-activation bottleneck block (1x1 reduce, 3x3, 1x1 expand)."""
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 dropout_rate: float = 0.0, use_norm: bool = True, rng=None):
+        super().__init__()
+        expanded = out_channels * self.expansion
+        self.norm1 = BatchNorm2d(in_channels) if use_norm else Identity()
+        self.conv1 = Conv2d(in_channels, out_channels, 1, bias=not use_norm, rng=rng)
+        self.norm2 = BatchNorm2d(out_channels) if use_norm else Identity()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=not use_norm, rng=rng)
+        self.norm3 = BatchNorm2d(out_channels) if use_norm else Identity()
+        self.conv3 = Conv2d(out_channels, expanded, 1, bias=not use_norm, rng=rng)
+        self.dropout = Dropout(dropout_rate, rng=rng)
+        if stride != 1 or in_channels != expanded:
+            self.shortcut = Conv2d(in_channels, expanded, 1, stride=stride, rng=rng)
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv1(F.relu(self.norm1(x)))
+        out = self.conv2(F.relu(self.norm2(out)))
+        out = self.dropout(out)
+        out = self.conv3(F.relu(self.norm3(out)))
+        return out + self.shortcut(x)
+
+
+_CONFIGS = {
+    18: (PreActBasicBlock, (2, 2, 2, 2)),
+    50: (PreActBottleneckBlock, (3, 4, 6, 3)),
+    152: (PreActBottleneckBlock, (3, 8, 36, 3)),
+}
+
+
+class PreActResNetS(Module):
+    """Pre-activation ResNet with the original block counts and scaled widths."""
+
+    def __init__(self, depth: int = 18, num_classes: int = 10, in_channels: int = 3,
+                 width: int = 8, dropout_rate: float = 0.0, use_norm: bool = True,
+                 depth_scale: float = 1.0, rng=None):
+        super().__init__()
+        if depth not in _CONFIGS:
+            raise ValueError(f"depth must be one of {sorted(_CONFIGS)}")
+        if not 0.0 < depth_scale <= 1.0:
+            raise ValueError("depth_scale must lie in (0, 1]")
+        block_class, counts = _CONFIGS[depth]
+        counts = tuple(max(1, int(math.ceil(c * depth_scale))) for c in counts)
+        widths = [width, width * 2, width * 4, width * 8]
+        self.depth = depth
+        self.stem = Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        stages = ModuleList()
+        channels = width
+        for stage_index, (stage_width, count) in enumerate(zip(widths, counts)):
+            for block_index in range(count):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                stages.append(block_class(channels, stage_width, stride=stride,
+                                          dropout_rate=dropout_rate,
+                                          use_norm=use_norm, rng=rng))
+                channels = stage_width * block_class.expansion
+        self.stages = stages
+        self.final_norm = BatchNorm2d(channels) if use_norm else Identity()
+        self.head = Sequential(
+            GlobalAvgPool2d(),
+            Flatten(),
+            Dropout(dropout_rate, rng=rng),
+            Linear(channels, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+        self.num_blocks = sum(counts)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self.stages:
+            out = block(out)
+        out = F.relu(self.final_norm(out))
+        return self.head(out)
+
+
+def preact_resnet18(**kwargs) -> PreActResNetS:
+    """PreAct-ResNet-18 (2-2-2-2 basic blocks)."""
+    return PreActResNetS(depth=18, **kwargs)
+
+
+def preact_resnet50(**kwargs) -> PreActResNetS:
+    """PreAct-ResNet-50 (3-4-6-3 bottleneck blocks)."""
+    return PreActResNetS(depth=50, **kwargs)
+
+
+def preact_resnet152(**kwargs) -> PreActResNetS:
+    """PreAct-ResNet-152 (3-8-36-3 bottleneck blocks)."""
+    return PreActResNetS(depth=152, **kwargs)

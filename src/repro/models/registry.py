@@ -1,0 +1,66 @@
+"""Model registry: build any paper model from its name.
+
+The benchmark harness and the examples refer to models by the names used in
+Figure 3 ("mlp", "lenet", "alexnet", "resnet18", "vgg11", "preact18",
+"preact50", "preact152", "stn", "detector"); this registry maps those names
+to constructors with sensible CPU-scale defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .mlp import build_mlp
+from .lenet import LeNet5
+from .alexnet import AlexNetS
+from .vgg import VGG11S
+from .resnet import ResNet18S
+from .preact_resnet import preact_resnet18, preact_resnet50, preact_resnet152
+from .stn import SpatialTransformerClassifier
+from .detection import TinyDetector
+
+__all__ = ["build_model", "available_models"]
+
+
+def _mlp_factory(num_classes: int, in_channels: int, image_size: int, **kwargs):
+    input_dim = in_channels * image_size * image_size
+    return build_mlp(input_dim, depth=3, width=128, num_classes=num_classes, **kwargs)
+
+
+_REGISTRY: dict[str, Callable] = {
+    "mlp": _mlp_factory,
+    "lenet": lambda num_classes, in_channels, image_size, **kw:
+        LeNet5(num_classes=num_classes, in_channels=in_channels, image_size=image_size, **kw),
+    "alexnet": lambda num_classes, in_channels, image_size, **kw:
+        AlexNetS(num_classes=num_classes, in_channels=in_channels, image_size=image_size, **kw),
+    "vgg11": lambda num_classes, in_channels, image_size, **kw:
+        VGG11S(num_classes=num_classes, in_channels=in_channels, **kw),
+    "resnet18": lambda num_classes, in_channels, image_size, **kw:
+        ResNet18S(num_classes=num_classes, in_channels=in_channels, **kw),
+    "preact18": lambda num_classes, in_channels, image_size, **kw:
+        preact_resnet18(num_classes=num_classes, in_channels=in_channels, **kw),
+    "preact50": lambda num_classes, in_channels, image_size, **kw:
+        preact_resnet50(num_classes=num_classes, in_channels=in_channels, **kw),
+    "preact152": lambda num_classes, in_channels, image_size, **kw:
+        preact_resnet152(num_classes=num_classes, in_channels=in_channels, **kw),
+    "stn": lambda num_classes, in_channels, image_size, **kw:
+        SpatialTransformerClassifier(num_classes=num_classes, in_channels=in_channels,
+                                     image_size=image_size, **kw),
+    "detector": lambda num_classes, in_channels, image_size, **kw:
+        TinyDetector(image_size=image_size, in_channels=in_channels, **kw),
+}
+
+
+def available_models() -> list[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, num_classes: int = 10, in_channels: int = 1,
+                image_size: int = 16, **kwargs):
+    """Instantiate a model by its Figure-3 name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown model {name!r}; available: {available_models()}")
+    return _REGISTRY[key](num_classes=num_classes, in_channels=in_channels,
+                          image_size=image_size, **kwargs)

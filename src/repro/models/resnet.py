@@ -1,0 +1,77 @@
+"""ResNet-18 style residual network scaled for small images (Fig. 3d)."""
+
+from __future__ import annotations
+
+from ..nn import functional as F
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.layers import (
+    Conv2d, Linear, ReLU, Dropout, Flatten, GlobalAvgPool2d, BatchNorm2d, Identity,
+)
+from ..nn.tensor import Tensor
+
+__all__ = ["ResNet18S", "BasicBlock"]
+
+
+class BasicBlock(Module):
+    """The standard post-activation residual block: conv-BN-ReLU-conv-BN + skip."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 dropout_rate: float = 0.0, use_norm: bool = True, rng=None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                            bias=not use_norm, rng=rng)
+        self.norm1 = BatchNorm2d(out_channels) if use_norm else Identity()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                            bias=not use_norm, rng=rng)
+        self.norm2 = BatchNorm2d(out_channels) if use_norm else Identity()
+        self.dropout = Dropout(dropout_rate, rng=rng)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Conv2d(in_channels, out_channels, 1, stride=stride,
+                                   bias=True, rng=rng)
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.norm1(self.conv1(x)))
+        out = self.dropout(out)
+        out = self.norm2(self.conv2(out))
+        return F.relu(out + self.shortcut(x))
+
+
+class ResNet18S(Module):
+    """ResNet-18 topology (2-2-2-2 basic blocks) with scaled channel widths.
+
+    ``use_norm=False`` removes all BatchNorm layers, which the Fig. 2(b)
+    conclusion suggests is the more drift-robust configuration.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3, width: int = 8,
+                 blocks_per_stage: tuple = (2, 2, 2, 2), dropout_rate: float = 0.0,
+                 use_norm: bool = True, rng=None):
+        super().__init__()
+        widths = [width, width * 2, width * 4, width * 8]
+        self.stem = Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        self.stem_norm = BatchNorm2d(width) if use_norm else Identity()
+        stages = ModuleList()
+        channels = width
+        for stage_index, (stage_width, count) in enumerate(zip(widths, blocks_per_stage)):
+            for block_index in range(count):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                stages.append(BasicBlock(channels, stage_width, stride=stride,
+                                         dropout_rate=dropout_rate,
+                                         use_norm=use_norm, rng=rng))
+                channels = stage_width
+        self.stages = stages
+        self.head = Sequential(
+            GlobalAvgPool2d(),
+            Flatten(),
+            Dropout(dropout_rate, rng=rng),
+            Linear(channels, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.stem_norm(self.stem(x)))
+        for block in self.stages:
+            out = block(out)
+        return self.head(out)

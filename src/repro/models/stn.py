@@ -1,0 +1,158 @@
+"""Spatial-transformer classifier for traffic-sign recognition (Fig. 3i).
+
+The paper follows Arcos-Garcia et al. and uses a spatial transformer network
+for GTSRB: a small localisation network predicts a 2x3 affine transform that
+is applied to the input image before classification, letting the model
+normalise the sign's randomised position and scale.
+
+The affine grid sampling is implemented with differentiable bilinear
+interpolation so that gradients flow both into the classification trunk and
+back through the sampling coordinates into the localisation network, exactly
+as in Jaderberg et al.'s original formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module, Sequential
+from ..nn.layers import Conv2d, Linear, MaxPool2d, ReLU, Dropout, Flatten
+from ..nn.tensor import Tensor
+
+__all__ = ["SpatialTransformerClassifier", "affine_grid_sample"]
+
+
+def affine_grid_sample(images: Tensor, theta: Tensor) -> Tensor:
+    """Sample ``images`` (N, C, H, W) under affine transforms ``theta`` (N, 2, 3).
+
+    The sampling grid covers the normalised square [-1, 1]²; bilinear
+    interpolation is differentiable with respect to both the image values and
+    the transform parameters.
+    """
+    n, c, h, w = images.shape
+    if theta.shape != (n, 2, 3):
+        raise ValueError(f"theta must have shape (N, 2, 3), got {theta.shape}")
+
+    ys = np.linspace(-1.0, 1.0, h)
+    xs = np.linspace(-1.0, 1.0, w)
+    grid_y, grid_x = np.meshgrid(ys, xs, indexing="ij")
+    # Homogeneous target coordinates, shape (3, H*W).
+    base_grid = np.stack([grid_x.ravel(), grid_y.ravel(), np.ones(h * w)])
+
+    theta_data = theta.data                       # (N, 2, 3)
+    source = theta_data @ base_grid               # (N, 2, H*W) in [-1, 1]
+    source_x = (source[:, 0, :] + 1.0) * (w - 1) / 2.0
+    source_y = (source[:, 1, :] + 1.0) * (h - 1) / 2.0
+
+    x0 = np.floor(source_x).astype(np.int64)
+    y0 = np.floor(source_y).astype(np.int64)
+    x1, y1 = x0 + 1, y0 + 1
+    wx = source_x - x0
+    wy = source_y - y0
+
+    x0c = np.clip(x0, 0, w - 1)
+    x1c = np.clip(x1, 0, w - 1)
+    y0c = np.clip(y0, 0, h - 1)
+    y1c = np.clip(y1, 0, h - 1)
+
+    batch_index = np.arange(n)[:, None]
+    image_data = images.data
+    # Gather the four corners for every channel: result shapes (N, C, H*W).
+    def gather(y_index, x_index):
+        return image_data[batch_index[:, None, :], np.arange(c)[None, :, None],
+                          y_index[:, None, :], x_index[:, None, :]]
+
+    v00 = gather(y0c, x0c)
+    v01 = gather(y0c, x1c)
+    v10 = gather(y1c, x0c)
+    v11 = gather(y1c, x1c)
+
+    wx_b = wx[:, None, :]
+    wy_b = wy[:, None, :]
+    out_data = (v00 * (1 - wx_b) * (1 - wy_b) + v01 * wx_b * (1 - wy_b)
+                + v10 * (1 - wx_b) * wy_b + v11 * wx_b * wy_b)
+    out_data = out_data.reshape(n, c, h, w)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, c, h * w)
+        if images.requires_grad:
+            grad_images = np.zeros_like(image_data)
+            contributions = (
+                (y0c, x0c, (1 - wx_b) * (1 - wy_b)),
+                (y0c, x1c, wx_b * (1 - wy_b)),
+                (y1c, x0c, (1 - wx_b) * wy_b),
+                (y1c, x1c, wx_b * wy_b),
+            )
+            for y_index, x_index, weight in contributions:
+                np.add.at(grad_images,
+                          (batch_index[:, None, :], np.arange(c)[None, :, None],
+                           y_index[:, None, :], x_index[:, None, :]),
+                          grad_flat * weight)
+            images._accumulate(grad_images)
+        if theta.requires_grad:
+            # d(out)/d(source_x) and d(source_y) from the bilinear weights.
+            d_dx = ((v01 - v00) * (1 - wy_b) + (v11 - v10) * wy_b)
+            d_dy = ((v10 - v00) * (1 - wx_b) + (v11 - v01) * wx_b)
+            grad_sx = (grad_flat * d_dx).sum(axis=1) * (w - 1) / 2.0   # (N, H*W)
+            grad_sy = (grad_flat * d_dy).sum(axis=1) * (h - 1) / 2.0
+            grad_source = np.stack([grad_sx, grad_sy], axis=1)         # (N, 2, H*W)
+            grad_theta = grad_source @ base_grid.T                     # (N, 2, 3)
+            theta._accumulate(grad_theta)
+
+    return Tensor._make(out_data, (images, theta), backward)
+
+
+class SpatialTransformerClassifier(Module):
+    """Localisation network + affine sampler + convolutional classifier."""
+
+    def __init__(self, num_classes: int = 43, in_channels: int = 3,
+                 image_size: int = 16, width: int = 8, dropout_rate: float = 0.0,
+                 rng=None):
+        super().__init__()
+        if image_size % 4 != 0:
+            raise ValueError("image_size must be divisible by 4")
+        loc_spatial = image_size // 4
+        self.localization = Sequential(
+            Conv2d(in_channels, width, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(width, width, 3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(width * loc_spatial * loc_spatial, 32, rng=rng),
+            ReLU(),
+        )
+        # The transform head starts at the identity transform, as recommended
+        # by the spatial-transformer paper.
+        self.theta_head = Linear(32, 6, rng=rng)
+        self.theta_head.weight.data *= 0.0
+        self.theta_head.bias.data = np.array([1.0, 0.0, 0.0, 0.0, 1.0, 0.0])
+
+        spatial = image_size // 4
+        self.classifier = Sequential(
+            Conv2d(in_channels, width, 3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            MaxPool2d(2),
+            Conv2d(width, width * 2, 3, padding=1, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(width * 2 * spatial * spatial, 64, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            Linear(64, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def transform(self, x: Tensor) -> Tensor:
+        """Apply the predicted affine transform to the input images."""
+        features = self.localization(x)
+        theta = self.theta_head(features).reshape(x.shape[0], 2, 3)
+        return affine_grid_sample(x, theta)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.transform(x))

@@ -1,0 +1,52 @@
+"""VGG-11 style convolutional network scaled for small images (Fig. 3e)."""
+
+from __future__ import annotations
+
+from ..nn.module import Module, Sequential
+from ..nn.layers import Conv2d, Linear, MaxPool2d, ReLU, Dropout, Flatten, GlobalAvgPool2d
+from ..nn.tensor import Tensor
+
+__all__ = ["VGG11S"]
+
+# VGG-11 configuration: channel multiplier per conv layer, "M" = max pool.
+_VGG11_CONFIG = [1, "M", 2, "M", 4, 4, "M", 8, 8, "M"]
+
+
+class VGG11S(Module):
+    """A narrow VGG-11: 8 convolutional layers in 4 stages + classifier.
+
+    Channel counts are ``width`` times the standard VGG multipliers
+    (64/128/256/512 become width·1/2/4/8).  Global average pooling replaces
+    the 7x7 pooling so the model works on small inputs.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 width: int = 8, dropout_rate: float = 0.0, rng=None):
+        super().__init__()
+        layers = Sequential()
+        channels = in_channels
+        conv_index = 0
+        for item in _VGG11_CONFIG:
+            if item == "M":
+                layers.add(MaxPool2d(2), name=f"pool{conv_index}")
+                continue
+            out_channels = width * int(item)
+            layers.add(Conv2d(channels, out_channels, kernel_size=3, padding=1, rng=rng),
+                       name=f"conv{conv_index}")
+            layers.add(ReLU(), name=f"act{conv_index}")
+            layers.add(Dropout(dropout_rate, rng=rng), name=f"dropout{conv_index}")
+            channels = out_channels
+            conv_index += 1
+        self.features = layers
+        self.classifier = Sequential(
+            GlobalAvgPool2d(),
+            Flatten(),
+            Linear(channels, 64, rng=rng),
+            ReLU(),
+            Dropout(dropout_rate, rng=rng),
+            Linear(64, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))

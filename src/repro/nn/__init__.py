@@ -1,0 +1,35 @@
+"""``repro.nn`` — a from-scratch numpy neural-network substrate.
+
+This package replaces PyTorch for the purposes of the BayesFT reproduction:
+it provides a reverse-mode autograd :class:`~repro.nn.tensor.Tensor`, a
+:class:`~repro.nn.module.Module` system, the layers the paper's models need,
+losses and optimisers.
+"""
+
+from . import functional, init
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .module import Module, Parameter, Sequential, ModuleList
+from .layers import (
+    Linear, Conv2d, MaxPool2d, AvgPool2d, GlobalAvgPool2d,
+    Dropout, AlphaDropout,
+    BatchNorm1d, BatchNorm2d, LayerNorm, InstanceNorm2d, GroupNorm,
+    ReLU, LeakyReLU, ELU, GELU, Tanh, Sigmoid, Identity, Flatten,
+)
+from .losses import (
+    CrossEntropyLoss, MSELoss, SmoothL1Loss, BCEWithLogitsLoss,
+    cross_entropy, mse_loss, smooth_l1_loss, bce_with_logits,
+)
+from .optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "functional", "init",
+    "Tensor", "no_grad", "is_grad_enabled",
+    "Module", "Parameter", "Sequential", "ModuleList",
+    "Linear", "Conv2d", "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d",
+    "Dropout", "AlphaDropout",
+    "BatchNorm1d", "BatchNorm2d", "LayerNorm", "InstanceNorm2d", "GroupNorm",
+    "ReLU", "LeakyReLU", "ELU", "GELU", "Tanh", "Sigmoid", "Identity", "Flatten",
+    "CrossEntropyLoss", "MSELoss", "SmoothL1Loss", "BCEWithLogitsLoss",
+    "cross_entropy", "mse_loss", "smooth_l1_loss", "bce_with_logits",
+    "SGD", "Adam", "Optimizer",
+]

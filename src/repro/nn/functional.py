@@ -1,0 +1,247 @@
+"""Functional neural-network operations on :class:`~repro.nn.tensor.Tensor`.
+
+These free functions implement the forward/backward math used by the layer
+classes in :mod:`repro.nn.layers`.  Convolution and pooling use an im2col
+lowering so that the heavy lifting is a single BLAS matmul, which keeps CPU
+training of the paper's small models tractable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erf as _erf
+
+from .tensor import Tensor
+
+__all__ = [
+    "relu", "leaky_relu", "elu", "gelu", "softmax", "log_softmax",
+    "conv2d", "max_pool2d", "avg_pool2d", "adaptive_avg_pool2d",
+    "linear", "dropout_mask", "im2col", "col2im", "one_hot",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Activations
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit, ``max(x, 0)``."""
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (x.data > 0))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with configurable negative slope."""
+    out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * np.where(x.data > 0, 1.0, negative_slope))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    exp_term = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out_data = np.where(x.data > 0, x.data, exp_term)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            slope = np.where(x.data > 0, 1.0, exp_term + alpha)
+            x._accumulate(grad * slope)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (exact erf form, as in Hendrycks & Gimpel)."""
+    cdf = 0.5 * (1.0 + _erf(x.data / math.sqrt(2.0)))
+    out_data = x.data * cdf
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            pdf = np.exp(-0.5 * x.data ** 2) / math.sqrt(2.0 * math.pi)
+            x._accumulate(grad * (cdf + x.data * pdf))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+# --------------------------------------------------------------------------- #
+# Linear / dropout helpers
+# --------------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout_mask(shape: tuple, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Sample an inverted-dropout mask: zeros with probability ``rate``.
+
+    Surviving entries are scaled by ``1 / (1 - rate)`` so the expected
+    activation is unchanged (the standard "inverted dropout" convention).
+    """
+    if rate <= 0.0:
+        return np.ones(shape)
+    keep = 1.0 - rate
+    return (rng.random(shape) < keep).astype(np.float64) / keep
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels of shape ``(N,)`` to one-hot ``(N, num_classes)``."""
+    labels = np.asarray(labels).astype(np.int64)
+    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+# --------------------------------------------------------------------------- #
+# im2col convolution lowering
+# --------------------------------------------------------------------------- #
+def im2col(data: np.ndarray, kernel_h: int, kernel_w: int,
+           stride: int, padding: int) -> tuple[np.ndarray, int, int]:
+    """Lower an NCHW array into column form for convolution.
+
+    Returns ``(columns, out_h, out_w)`` where ``columns`` has shape
+    ``(N, C * kernel_h * kernel_w, out_h * out_w)``.
+    """
+    n, c, h, w = data.shape
+    out_h = (h + 2 * padding - kernel_h) // stride + 1
+    out_w = (w + 2 * padding - kernel_w) // stride + 1
+    if padding > 0:
+        data = np.pad(data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    columns = np.empty((n, c, kernel_h, kernel_w, out_h, out_w))
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            columns[:, :, i, j, :, :] = data[:, :, i:i_end:stride, j:j_end:stride]
+    return columns.reshape(n, c * kernel_h * kernel_w, out_h * out_w), out_h, out_w
+
+
+def col2im(columns: np.ndarray, input_shape: tuple, kernel_h: int, kernel_w: int,
+           stride: int, padding: int, out_h: int, out_w: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to NCHW."""
+    n, c, h, w = input_shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding))
+    columns = columns.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += columns[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution over an NCHW tensor.
+
+    ``weight`` has shape ``(out_channels, in_channels, kH, kW)``.
+    """
+    n, c, h, w = x.shape
+    out_channels, in_channels, kernel_h, kernel_w = weight.shape
+    if c != in_channels:
+        raise ValueError(f"conv2d: input has {c} channels, weight expects {in_channels}")
+
+    columns, out_h, out_w = im2col(x.data, kernel_h, kernel_w, stride, padding)
+    weight_matrix = weight.data.reshape(out_channels, -1)
+    out_data = np.einsum("ok,nkp->nop", weight_matrix, columns, optimize=True)
+    out_data = out_data.reshape(n, out_channels, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_matrix = grad.reshape(n, out_channels, out_h * out_w)
+        if weight.requires_grad:
+            grad_weight = np.einsum("nop,nkp->ok", grad_matrix, columns, optimize=True)
+            weight._accumulate(grad_weight.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_columns = np.einsum("ok,nop->nkp", weight_matrix, grad_matrix, optimize=True)
+            grad_input = col2im(grad_columns, (n, c, h, w), kernel_h, kernel_w,
+                                stride, padding, out_h, out_w)
+            x._accumulate(grad_input)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling over an NCHW tensor with square windows."""
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    columns, out_h, out_w = im2col(x.data, kernel_size, kernel_size, stride, 0)
+    columns = columns.reshape(n, c, kernel_size * kernel_size, out_h * out_w)
+    argmax = columns.argmax(axis=2)
+    out_data = np.take_along_axis(columns, argmax[:, :, None, :], axis=2)
+    out_data = out_data.reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_cols = np.zeros((n, c, kernel_size * kernel_size, out_h * out_w))
+        np.put_along_axis(grad_cols, argmax[:, :, None, :],
+                          grad.reshape(n, c, 1, out_h * out_w), axis=2)
+        grad_cols = grad_cols.reshape(n, c * kernel_size * kernel_size, out_h * out_w)
+        grad_input = col2im(grad_cols, (n, c, h, w), kernel_size, kernel_size,
+                            stride, 0, out_h, out_w)
+        x._accumulate(grad_input)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Average pooling over an NCHW tensor with square windows."""
+    stride = stride or kernel_size
+    n, c, h, w = x.shape
+    columns, out_h, out_w = im2col(x.data, kernel_size, kernel_size, stride, 0)
+    columns = columns.reshape(n, c, kernel_size * kernel_size, out_h * out_w)
+    out_data = columns.mean(axis=2).reshape(n, c, out_h, out_w)
+    window = kernel_size * kernel_size
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_cols = np.broadcast_to(grad.reshape(n, c, 1, out_h * out_w) / window,
+                                    (n, c, window, out_h * out_w)).copy()
+        grad_cols = grad_cols.reshape(n, c * window, out_h * out_w)
+        grad_input = col2im(grad_cols, (n, c, h, w), kernel_size, kernel_size,
+                            stride, 0, out_h, out_w)
+        x._accumulate(grad_input)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only ``output_size == 1`` (global) is needed."""
+    if output_size != 1:
+        raise NotImplementedError("only global (1x1) adaptive pooling is supported")
+    return x.mean(axis=(2, 3), keepdims=True)

@@ -1,0 +1,68 @@
+"""Weight initialisation schemes.
+
+Algorithm 1 of the paper initialises network weights with Xavier (Glorot)
+random initialisation; Kaiming initialisation is provided as well because the
+ResNet-family models conventionally use it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform", "xavier_normal", "kaiming_uniform", "kaiming_normal",
+    "zeros", "ones", "fan_in_and_fan_out",
+]
+
+
+def fan_in_and_fan_out(shape: tuple) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight of the given shape.
+
+    Linear weights use the PyTorch layout ``(out_features, in_features)``;
+    convolution weights use ``(out_channels, in_channels, kH, kW)``.
+    """
+    if len(shape) < 2:
+        raise ValueError("fan computation requires at least a 2-D weight")
+    receptive_field = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive_field
+    fan_out = shape[0] * receptive_field
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform initialisation, U(-a, a) with a = gain * sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal initialisation, N(0, gain^2 * 2/(fan_in+fan_out))."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator, a: float = math.sqrt(5)) -> np.ndarray:
+    """He uniform initialisation used by PyTorch's default Linear/Conv reset."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a ** 2))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation, N(0, 2/fan_in)."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,18 @@
+"""Neural-network layers built on the :mod:`repro.nn` autograd engine."""
+
+from .linear import Linear
+from .conv import Conv2d
+from .pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from .dropout import Dropout, AlphaDropout
+from .normalization import BatchNorm1d, BatchNorm2d, LayerNorm, InstanceNorm2d, GroupNorm
+from .activations import ReLU, LeakyReLU, ELU, GELU, Tanh, Sigmoid, Identity
+from .shape import Flatten
+
+__all__ = [
+    "Linear", "Conv2d",
+    "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d",
+    "Dropout", "AlphaDropout",
+    "BatchNorm1d", "BatchNorm2d", "LayerNorm", "InstanceNorm2d", "GroupNorm",
+    "ReLU", "LeakyReLU", "ELU", "GELU", "Tanh", "Sigmoid", "Identity",
+    "Flatten",
+]

@@ -1,0 +1,109 @@
+"""Activation-function layers.
+
+Figure 2(d) of the paper ablates ReLU, Leaky ReLU, ELU and GELU and finds no
+statistically significant robustness difference between them; all four are
+implemented so the ablation is reproducible.
+"""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["ReLU", "LeakyReLU", "ELU", "GELU", "Tanh", "Sigmoid", "Identity"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU(negative_slope={self.negative_slope})"
+
+
+class ELU(Module):
+    """Exponential linear unit."""
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.elu(x, self.alpha)
+
+    def __repr__(self) -> str:
+        return f"ELU(alpha={self.alpha})"
+
+
+class GELU(Module):
+    """Gaussian error linear unit (exact erf formulation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+    def __repr__(self) -> str:
+        return "GELU()"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Identity(Module):
+    """No-op layer, useful as a placeholder in ablations."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+def make_activation(name: str) -> Module:
+    """Build an activation layer from its name (used by the ablation harness)."""
+    registry = {
+        "relu": ReLU,
+        "leaky_relu": LeakyReLU,
+        "elu": ELU,
+        "gelu": GELU,
+        "tanh": Tanh,
+        "sigmoid": Sigmoid,
+        "identity": Identity,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(registry)}")
+    return registry[key]()

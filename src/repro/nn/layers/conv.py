@@ -1,0 +1,68 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+from ...utils.rng import get_rng
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW tensors with square kernels.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Side length of the square kernel.
+    stride, padding:
+        Convolution stride and symmetric zero padding.
+    bias:
+        Whether to learn a per-output-channel bias.
+    init_scheme:
+        ``"xavier"`` or ``"kaiming"``.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 init_scheme: str = "kaiming", rng=None):
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        rng = get_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        if init_scheme == "xavier":
+            weight = init.xavier_uniform(shape, rng)
+        elif init_scheme == "kaiming":
+            weight = init.kaiming_normal(shape, rng)
+        else:
+            raise ValueError(f"unknown init scheme {init_scheme!r}")
+        self.weight = Parameter(weight)
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+    def output_spatial(self, height: int, width: int) -> tuple[int, int]:
+        """Spatial size of the output feature map for a given input size."""
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return out_h, out_w
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, "
+                f"padding={self.padding})")

@@ -1,0 +1,92 @@
+"""Dropout layers.
+
+Dropout is the central architectural knob of BayesFT: the paper's search
+space is exactly "one dropout rate per layer", and Figure 2(a) shows that
+dropout (and its alpha-dropout variant) is the component that most improves
+robustness to memristance drift.  The :attr:`Dropout.rate` attribute is
+mutable so the BayesFT search loop can re-configure a trained network's
+dropout rates without rebuilding it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module
+from ..tensor import Tensor
+from ...utils.rng import get_rng, spawn_rng
+
+__all__ = ["Dropout", "AlphaDropout"]
+
+
+class Dropout(Module):
+    """Standard inverted dropout.
+
+    During training each activation is zeroed with probability ``rate`` and
+    the survivors are scaled by ``1/(1-rate)``.  During evaluation the layer
+    is the identity.
+    """
+
+    def __init__(self, rate: float = 0.5, rng=None):
+        super().__init__()
+        self.rate = float(rate)
+        self._rng = spawn_rng(get_rng(rng))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {self.rate}")
+
+    def set_rate(self, rate: float) -> None:
+        """Update the dropout rate (used by the BayesFT search loop)."""
+        self.rate = float(np.clip(rate, 0.0, 0.95))
+        self._validate()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate <= 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate:.3f})"
+
+
+class AlphaDropout(Module):
+    """Alpha dropout (Klambauer et al., 2017).
+
+    Instead of zeroing activations, dropped units are set to the negative
+    saturation value of SELU (``alpha' = -alpha * scale``) and the output is
+    affinely rescaled so that the input mean and variance are preserved.
+    """
+
+    _ALPHA = 1.6732632423543772
+    _SCALE = 1.0507009873554805
+
+    def __init__(self, rate: float = 0.5, rng=None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = spawn_rng(get_rng(rng))
+
+    def set_rate(self, rate: float) -> None:
+        """Update the dropout rate in place."""
+        self.rate = float(np.clip(rate, 0.0, 0.95))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate <= 0.0:
+            return x
+        keep = 1.0 - self.rate
+        alpha_prime = -self._ALPHA * self._SCALE
+        # Affine correction keeping zero mean / unit variance (see the SNN paper).
+        a = (keep + alpha_prime ** 2 * keep * (1.0 - keep)) ** -0.5
+        b = -a * alpha_prime * (1.0 - keep)
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64)
+        kept = x * Tensor(mask)
+        dropped = Tensor((1.0 - mask) * alpha_prime)
+        return (kept + dropped) * a + b
+
+    def __repr__(self) -> str:
+        return f"AlphaDropout(rate={self.rate:.3f})"

@@ -1,0 +1,55 @@
+"""Fully connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .. import init
+from ..module import Module, Parameter
+from ..tensor import Tensor
+from ...utils.rng import get_rng
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with PyTorch weight layout.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to learn an additive bias.
+    init_scheme:
+        ``"xavier"`` (the paper's Algorithm 1 default) or ``"kaiming"``.
+    rng:
+        Optional ``numpy.random.Generator`` (or integer seed) used for
+        initialisation; defaults to the library's global generator.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 init_scheme: str = "xavier", rng=None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear requires positive feature dimensions")
+        rng = get_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        shape = (out_features, in_features)
+        if init_scheme == "xavier":
+            weight = init.xavier_uniform(shape, rng)
+        elif init_scheme == "kaiming":
+            weight = init.kaiming_uniform(shape, rng)
+        else:
+            raise ValueError(f"unknown init scheme {init_scheme!r}")
+        self.weight = Parameter(weight)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (f"Linear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, bias={self.bias is not None})")

@@ -1,0 +1,142 @@
+"""Feature-normalisation layers.
+
+The paper's Figure 2(b) ablates batch, layer, instance and group
+normalisation and finds that adding normalisation generally *hurts*
+robustness to memristance drift, because drift on the learned affine
+parameters (gamma, beta) is amplified by the normalised activations.  All
+four variants are implemented here so that the ablation can be reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..module import Module, Parameter
+from ..tensor import Tensor
+
+__all__ = ["BatchNorm1d", "BatchNorm2d", "LayerNorm", "InstanceNorm2d", "GroupNorm"]
+
+
+class _NormBase(Module):
+    """Shared affine-parameter handling for all normalisation layers."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, affine: bool = True):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features))
+            self.bias = Parameter(np.zeros(num_features))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def _affine(self, x: Tensor, channel_axis: int) -> Tensor:
+        if not self.affine:
+            return x
+        shape = [1] * x.ndim
+        shape[channel_axis] = self.num_features
+        return x * self.weight.reshape(*shape) + self.bias.reshape(*shape)
+
+
+class BatchNorm1d(_NormBase):
+    """Batch normalisation over (N, C) activations with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 affine: bool = True):
+        super().__init__(num_features, eps, affine)
+        self.momentum = momentum
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError("BatchNorm1d expects (N, C) input")
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            self.set_buffer("running_mean",
+                            (1 - self.momentum) * self.running_mean
+                            + self.momentum * mean.data.ravel())
+            self.set_buffer("running_var",
+                            (1 - self.momentum) * self.running_var
+                            + self.momentum * var.data.ravel())
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            var = Tensor(self.running_var.reshape(1, -1))
+        normalised = (x - mean) / ((var + self.eps) ** 0.5)
+        return self._affine(normalised, channel_axis=1)
+
+
+class BatchNorm2d(_NormBase):
+    """Batch normalisation over (N, C, H, W) feature maps."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 affine: bool = True):
+        super().__init__(num_features, eps, affine)
+        self.momentum = momentum
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError("BatchNorm2d expects (N, C, H, W) input")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            self.set_buffer("running_mean",
+                            (1 - self.momentum) * self.running_mean
+                            + self.momentum * mean.data.ravel())
+            self.set_buffer("running_var",
+                            (1 - self.momentum) * self.running_var
+                            + self.momentum * var.data.ravel())
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normalised = (x - mean) / ((var + self.eps) ** 0.5)
+        return self._affine(normalised, channel_axis=1)
+
+
+class LayerNorm(_NormBase):
+    """Layer normalisation across the feature dimension(s) of each sample."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = tuple(range(1, x.ndim))
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        normalised = (x - mean) / ((var + self.eps) ** 0.5)
+        return self._affine(normalised, channel_axis=1)
+
+
+class InstanceNorm2d(_NormBase):
+    """Instance normalisation: per-sample, per-channel spatial normalisation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError("InstanceNorm2d expects (N, C, H, W) input")
+        mean = x.mean(axis=(2, 3), keepdims=True)
+        var = x.var(axis=(2, 3), keepdims=True)
+        normalised = (x - mean) / ((var + self.eps) ** 0.5)
+        return self._affine(normalised, channel_axis=1)
+
+
+class GroupNorm(_NormBase):
+    """Group normalisation: channels are split into groups normalised jointly."""
+
+    def __init__(self, num_groups: int, num_features: int, eps: float = 1e-5,
+                 affine: bool = True):
+        if num_features % num_groups != 0:
+            raise ValueError("num_features must be divisible by num_groups")
+        super().__init__(num_features, eps, affine)
+        self.num_groups = num_groups
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError("GroupNorm expects (N, C, H, W) input")
+        n, c, h, w = x.shape
+        grouped = x.reshape(n, self.num_groups, c // self.num_groups, h, w)
+        mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+        var = grouped.var(axis=(2, 3, 4), keepdims=True)
+        normalised = (grouped - mean) / ((var + self.eps) ** 0.5)
+        return self._affine(normalised.reshape(n, c, h, w), channel_axis=1)

@@ -1,0 +1,22 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+from ..module import Module
+from ..tensor import Tensor
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Flatten all dimensions after ``start_dim`` into one."""
+
+    def __init__(self, start_dim: int = 1):
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+    def __repr__(self) -> str:
+        return f"Flatten(start_dim={self.start_dim})"

@@ -1,0 +1,79 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "SmoothL1Loss", "BCEWithLogitsLoss",
+           "cross_entropy", "mse_loss", "smooth_l1_loss", "bce_with_logits"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits ``(N, C)`` and integer labels ``(N,)``."""
+    targets = np.asarray(targets).astype(np.int64).ravel()
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(targets.shape[0]), targets]
+    return -(picked.mean())
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def smooth_l1_loss(prediction: Tensor, target, beta: float = 1.0) -> Tensor:
+    """Huber / smooth-L1 loss used for bounding-box regression."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear = abs_diff - 0.5 * beta
+    mask = (abs_diff.data < beta).astype(np.float64)
+    return (quadratic * Tensor(mask) + linear * Tensor(1.0 - mask)).mean()
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    # log(1 + exp(-|x|)) + max(x, 0) - x*t  is the standard stable form.
+    max_part = logits.maximum(0.0)
+    stable_log = ((-logits.abs()).exp() + 1.0).log()
+    return (max_part - logits * targets + stable_log).mean()
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy for multi-class classification."""
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        return cross_entropy(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error loss."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return mse_loss(prediction, target)
+
+
+class SmoothL1Loss(Module):
+    """Smooth-L1 (Huber) loss, the standard box-regression loss."""
+
+    def __init__(self, beta: float = 1.0):
+        super().__init__()
+        self.beta = beta
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return smooth_l1_loss(prediction, target, self.beta)
+
+
+class BCEWithLogitsLoss(Module):
+    """Binary cross-entropy on logits (objectness / FTNA code bits)."""
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        return bce_with_logits(logits, targets)

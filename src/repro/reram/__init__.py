@@ -1,0 +1,23 @@
+"""ReRAM crossbar substrate.
+
+The paper abstracts the ReRAM hardware into the log-normal drift of Eq. (1).
+This package models the layer below that abstraction: mapping signed weights
+onto differential pairs of memristor conductances, programming error, read
+(thermal) noise, conductance quantisation and stuck-at cells, plus a
+crossbar-level matrix-vector multiply.  It is used to (a) justify the drift
+model — :func:`~repro.reram.device.DeviceVariationModel.effective_sigma`
+derives an Eq.-(1) σ from device parameters — and (b) provide an end-to-end
+"deploy the trained network on simulated hardware" path for the examples.
+"""
+
+from .device import DeviceConfig, DeviceVariationModel
+from .conductance import ConductanceMapper
+from .crossbar import Crossbar, CrossbarArray
+from .deploy import ReRAMLinear, deploy_on_reram
+
+__all__ = [
+    "DeviceConfig", "DeviceVariationModel",
+    "ConductanceMapper",
+    "Crossbar", "CrossbarArray",
+    "ReRAMLinear", "deploy_on_reram",
+]

@@ -1,0 +1,65 @@
+"""Mapping signed neural-network weights onto memristor conductances.
+
+A signed weight is represented differentially by a pair of conductances
+``(g_pos, g_neg)`` so that the crossbar computes ``(g_pos - g_neg) · v``.
+The mapper also handles conductance quantisation when the device exposes a
+finite number of programmable levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import DeviceConfig
+
+__all__ = ["ConductanceMapper"]
+
+
+class ConductanceMapper:
+    """Converts between weights and differential conductance pairs."""
+
+    def __init__(self, config: DeviceConfig, weight_scale: float | None = None):
+        self.config = config
+        # Scale chosen so that the largest representable |weight| maps to g_max.
+        self.weight_scale = weight_scale
+
+    def fit_scale(self, weights: np.ndarray) -> float:
+        """Choose the weight→conductance scale from the array's dynamic range."""
+        max_abs = float(np.abs(weights).max())
+        if max_abs == 0.0:
+            max_abs = 1.0
+        self.weight_scale = (self.config.g_max - self.config.g_min) / max_abs
+        return self.weight_scale
+
+    def to_conductance(self, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map signed weights to a (g_pos, g_neg) differential pair."""
+        if self.weight_scale is None:
+            self.fit_scale(weights)
+        c = self.config
+        magnitude = np.abs(weights) * self.weight_scale
+        magnitude = np.clip(magnitude, 0.0, c.g_max - c.g_min)
+        g_pos = np.where(weights >= 0, c.g_min + magnitude, c.g_min)
+        g_neg = np.where(weights < 0, c.g_min + magnitude, c.g_min)
+        if c.quantization_bits > 0:
+            g_pos = self._quantize(g_pos)
+            g_neg = self._quantize(g_neg)
+        return g_pos, g_neg
+
+    def to_weights(self, g_pos: np.ndarray, g_neg: np.ndarray) -> np.ndarray:
+        """Recover signed weights from a differential conductance pair."""
+        if self.weight_scale is None:
+            raise RuntimeError("call to_conductance or fit_scale before to_weights")
+        return (g_pos - g_neg) / self.weight_scale
+
+    def _quantize(self, conductance: np.ndarray) -> np.ndarray:
+        c = self.config
+        levels = 2 ** c.quantization_bits - 1
+        step = (c.g_max - c.g_min) / levels
+        return c.g_min + np.round((conductance - c.g_min) / step) * step
+
+    def roundtrip_error(self, weights: np.ndarray) -> float:
+        """Mean absolute relative error of an ideal (noise-free) map/unmap cycle."""
+        g_pos, g_neg = self.to_conductance(weights)
+        recovered = self.to_weights(g_pos, g_neg)
+        denom = np.maximum(np.abs(weights), 1e-12)
+        return float(np.mean(np.abs(recovered - weights) / denom))

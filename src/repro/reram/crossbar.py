@@ -1,0 +1,110 @@
+"""Crossbar-array simulation.
+
+A :class:`Crossbar` holds one weight matrix as programmed conductances and
+performs analog matrix-vector multiplication with read noise.  A
+:class:`CrossbarArray` tiles an arbitrarily large weight matrix over multiple
+fixed-size crossbars, as a real accelerator would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import get_rng
+from .conductance import ConductanceMapper
+from .device import DeviceConfig, DeviceVariationModel
+
+__all__ = ["Crossbar", "CrossbarArray"]
+
+
+class Crossbar:
+    """A single ReRAM crossbar storing a (rows × cols) weight tile."""
+
+    def __init__(self, weights: np.ndarray, config: DeviceConfig | None = None,
+                 deployment_time: float = 1.0, rng=None):
+        if weights.ndim != 2:
+            raise ValueError("a crossbar stores a 2-D weight tile")
+        self.config = config or DeviceConfig()
+        self.rng = get_rng(rng)
+        self.mapper = ConductanceMapper(self.config)
+        self.variation = DeviceVariationModel(self.config, deployment_time, rng=self.rng)
+        self.ideal_weights = np.asarray(weights, dtype=np.float64).copy()
+        self.program(self.ideal_weights)
+
+    def program(self, weights: np.ndarray) -> None:
+        """Write the weights into the crossbar, including programming error."""
+        self.ideal_weights = np.asarray(weights, dtype=np.float64).copy()
+        g_pos, g_neg = self.mapper.to_conductance(self.ideal_weights)
+        self.g_pos = self.variation.perturb_conductance(g_pos)
+        self.g_neg = self.variation.perturb_conductance(g_neg)
+
+    def effective_weights(self, read_noise: bool = False) -> np.ndarray:
+        """The weights the crossbar actually realises."""
+        g_pos, g_neg = self.g_pos, self.g_neg
+        if read_noise and self.config.read_noise_sigma > 0:
+            noise_p = np.exp(self.rng.normal(0, self.config.read_noise_sigma, g_pos.shape))
+            noise_n = np.exp(self.rng.normal(0, self.config.read_noise_sigma, g_neg.shape))
+            g_pos = g_pos * noise_p
+            g_neg = g_neg * noise_n
+        return self.mapper.to_weights(g_pos, g_neg)
+
+    def matvec(self, voltage: np.ndarray, read_noise: bool = True) -> np.ndarray:
+        """Analog matrix-vector product ``W_effective @ v``."""
+        return self.effective_weights(read_noise=read_noise) @ np.asarray(voltage, dtype=np.float64)
+
+    def weight_error(self) -> float:
+        """Mean absolute relative deviation of realised vs ideal weights."""
+        denom = np.maximum(np.abs(self.ideal_weights), 1e-12)
+        return float(np.mean(np.abs(self.effective_weights() - self.ideal_weights) / denom))
+
+
+class CrossbarArray:
+    """Tiles a large weight matrix over fixed-size crossbars."""
+
+    def __init__(self, weights: np.ndarray, tile_rows: int = 128, tile_cols: int = 128,
+                 config: DeviceConfig | None = None, deployment_time: float = 1.0, rng=None):
+        if weights.ndim != 2:
+            raise ValueError("CrossbarArray stores a 2-D weight matrix")
+        if tile_rows <= 0 or tile_cols <= 0:
+            raise ValueError("tile sizes must be positive")
+        self.shape = weights.shape
+        self.tile_rows = tile_rows
+        self.tile_cols = tile_cols
+        self.config = config or DeviceConfig()
+        rng = get_rng(rng)
+        self.tiles: list[list[Crossbar]] = []
+        rows, cols = weights.shape
+        for r in range(0, rows, tile_rows):
+            row_tiles = []
+            for c in range(0, cols, tile_cols):
+                tile = weights[r:r + tile_rows, c:c + tile_cols]
+                row_tiles.append(Crossbar(tile, self.config, deployment_time, rng=rng))
+            self.tiles.append(row_tiles)
+
+    @property
+    def num_tiles(self) -> int:
+        return sum(len(row) for row in self.tiles)
+
+    def effective_weights(self, read_noise: bool = False) -> np.ndarray:
+        """Reassemble the full effective weight matrix from all tiles."""
+        row_blocks = []
+        for row_tiles in self.tiles:
+            row_blocks.append(np.concatenate(
+                [tile.effective_weights(read_noise=read_noise) for tile in row_tiles], axis=1))
+        return np.concatenate(row_blocks, axis=0)
+
+    def matvec(self, voltage: np.ndarray, read_noise: bool = True) -> np.ndarray:
+        """Matrix-vector product computed tile by tile (as the hardware would)."""
+        voltage = np.asarray(voltage, dtype=np.float64)
+        if voltage.shape[0] != self.shape[1]:
+            raise ValueError("voltage vector length must equal the number of columns")
+        result = np.zeros(self.shape[0])
+        for r_index, row_tiles in enumerate(self.tiles):
+            row_start = r_index * self.tile_rows
+            accum = np.zeros(min(self.tile_rows, self.shape[0] - row_start))
+            for c_index, tile in enumerate(row_tiles):
+                col_start = c_index * self.tile_cols
+                col_end = min(col_start + self.tile_cols, self.shape[1])
+                accum += tile.matvec(voltage[col_start:col_end], read_noise=read_noise)
+            result[row_start:row_start + accum.shape[0]] = accum
+        return result

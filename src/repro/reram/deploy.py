@@ -1,0 +1,85 @@
+"""Deploying a trained network onto simulated ReRAM hardware.
+
+:func:`deploy_on_reram` replaces every parameter of a trained model with the
+weights a crossbar array would actually realise (programming error, process
+variation, retention drift), giving an end-to-end hardware-in-the-loop
+evaluation path that complements the purely statistical Eq. (1) drift used
+in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.layers import Linear
+from ..nn.tensor import Tensor
+from ..utils.rng import get_rng
+from .crossbar import CrossbarArray
+from .device import DeviceConfig
+
+__all__ = ["ReRAMLinear", "deploy_on_reram"]
+
+
+class ReRAMLinear(Module):
+    """A Linear layer whose matmul is computed by a simulated crossbar array.
+
+    Inference only (the crossbar holds fixed programmed weights); used in the
+    hardware-deployment example to show activation-level noise rather than
+    the weight-level abstraction.
+    """
+
+    def __init__(self, linear: Linear, config: DeviceConfig | None = None,
+                 deployment_time: float = 1.0, rng=None):
+        super().__init__()
+        self.in_features = linear.in_features
+        self.out_features = linear.out_features
+        self.config = config or DeviceConfig()
+        self.array = CrossbarArray(linear.weight.data, config=self.config,
+                                   deployment_time=deployment_time, rng=rng)
+        self.bias = None if linear.bias is None else linear.bias.data.copy()
+
+    def forward(self, x: Tensor) -> Tensor:
+        inputs = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+        outputs = np.stack([self.array.matvec(row) for row in inputs])
+        if self.bias is not None:
+            outputs = outputs + self.bias
+        return Tensor(outputs)
+
+    def __repr__(self) -> str:
+        return (f"ReRAMLinear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, tiles={self.array.num_tiles})")
+
+
+def deploy_on_reram(model: Module, config: DeviceConfig | None = None,
+                    deployment_time: float = 1.0, rng=None) -> dict[str, float]:
+    """Overwrite ``model``'s parameters with crossbar-realised values.
+
+    Every 2-D-or-higher parameter is flattened to a matrix, programmed onto a
+    :class:`CrossbarArray`, and replaced by the effective weights the array
+    realises.  1-D parameters (biases, norm affine parameters) are perturbed
+    with the device model's equivalent log-normal factor, matching how they
+    would be stored in peripheral ReRAM cells.
+
+    Returns a report mapping parameter names to their realised mean relative
+    error, so callers (and tests) can verify the deployment actually
+    perturbed the weights.
+    """
+    config = config or DeviceConfig()
+    rng = get_rng(rng)
+    report: dict[str, float] = {}
+    from .device import DeviceVariationModel
+    variation = DeviceVariationModel(config, deployment_time, rng=rng)
+    for name, parameter in model.named_parameters():
+        clean = parameter.data.copy()
+        if clean.ndim >= 2:
+            matrix = clean.reshape(clean.shape[0], -1)
+            array = CrossbarArray(matrix, config=config,
+                                  deployment_time=deployment_time, rng=rng)
+            realised = array.effective_weights().reshape(clean.shape)
+        else:
+            realised = clean * variation.sample_log_factors(clean.shape)
+        denom = np.maximum(np.abs(clean), 1e-12)
+        report[name] = float(np.mean(np.abs(realised - clean) / denom))
+        parameter.data = realised
+    return report

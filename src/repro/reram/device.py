@@ -1,0 +1,100 @@
+"""Memristor device models.
+
+The physical sources of weight drift listed in the paper's introduction —
+thermal noise, electrical noise, process variation and programming error —
+are modelled here as independent log-normal factors on the programmed
+conductance.  Their combined effect is again (approximately) log-normal,
+which is exactly the Eq. (1) abstraction the paper uses, and
+:meth:`DeviceVariationModel.effective_sigma` exposes the resulting σ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+__all__ = ["DeviceConfig", "DeviceVariationModel"]
+
+
+@dataclass
+class DeviceConfig:
+    """Physical parameters of a memristor cell.
+
+    Attributes
+    ----------
+    g_min, g_max:
+        Conductance range in siemens; weights map linearly onto this range.
+    programming_sigma:
+        Log-std of the write (programming) error.
+    read_noise_sigma:
+        Log-std of the per-read thermal/electrical noise.
+    process_variation_sigma:
+        Log-std of the static device-to-device process variation.
+    drift_rate:
+        Log-drift accumulated per unit of deployment time (retention loss).
+    quantization_bits:
+        Number of distinct programmable conductance levels (0 disables
+        quantisation).
+    stuck_at_rate:
+        Fraction of cells stuck at ``g_min`` or ``g_max`` after fabrication.
+    """
+
+    g_min: float = 1e-6
+    g_max: float = 1e-4
+    programming_sigma: float = 0.05
+    read_noise_sigma: float = 0.02
+    process_variation_sigma: float = 0.05
+    drift_rate: float = 0.1
+    quantization_bits: int = 0
+    stuck_at_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.g_min <= 0 or self.g_max <= self.g_min:
+            raise ValueError("require 0 < g_min < g_max")
+        for name in ("programming_sigma", "read_noise_sigma",
+                     "process_variation_sigma", "drift_rate", "stuck_at_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.quantization_bits < 0:
+            raise ValueError("quantization_bits must be non-negative")
+
+
+class DeviceVariationModel:
+    """Samples multiplicative conductance perturbations from device physics."""
+
+    def __init__(self, config: DeviceConfig, deployment_time: float = 1.0, rng=None):
+        if deployment_time < 0:
+            raise ValueError("deployment_time must be non-negative")
+        self.config = config
+        self.deployment_time = float(deployment_time)
+        self.rng = get_rng(rng)
+
+    def effective_sigma(self) -> float:
+        """Combined log-normal σ equivalent to Eq. (1) of the paper.
+
+        Independent log-normal factors multiply, so their log-variances add:
+        σ² = σ_prog² + σ_read² + σ_process² + (drift_rate·t)².
+        """
+        c = self.config
+        variance = (c.programming_sigma ** 2 + c.read_noise_sigma ** 2
+                    + c.process_variation_sigma ** 2
+                    + (c.drift_rate * self.deployment_time) ** 2)
+        return float(np.sqrt(variance))
+
+    def sample_log_factors(self, shape: tuple) -> np.ndarray:
+        """Sample the total multiplicative factor exp(λ) for an array of cells."""
+        lam = self.rng.normal(0.0, self.effective_sigma(), size=shape)
+        return np.exp(lam)
+
+    def perturb_conductance(self, conductance: np.ndarray) -> np.ndarray:
+        """Apply variation, clipping to the physical conductance range."""
+        c = self.config
+        perturbed = conductance * self.sample_log_factors(conductance.shape)
+        if c.stuck_at_rate > 0:
+            stuck = self.rng.random(conductance.shape) < c.stuck_at_rate
+            stuck_low = self.rng.random(conductance.shape) < 0.5
+            perturbed = np.where(stuck, np.where(stuck_low, c.g_min, c.g_max), perturbed)
+        return np.clip(perturbed, c.g_min, c.g_max)

@@ -1,0 +1,5 @@
+"""Training loops shared by the baselines and the BayesFT search."""
+
+from .trainer import Trainer, TrainingResult, train_classifier, train_detector
+
+__all__ = ["Trainer", "TrainingResult", "train_classifier", "train_detector"]

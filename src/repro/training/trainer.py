@@ -1,0 +1,147 @@
+"""Generic SGD training loops for classifiers and the TinyDetector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..nn import cross_entropy
+from ..nn.module import Module
+from ..nn.optim import SGD, Adam, Optimizer
+from ..nn.tensor import Tensor, no_grad
+from ..data.loader import Dataset, DataLoader
+from ..utils.rng import get_rng
+
+__all__ = ["TrainingResult", "Trainer", "train_classifier", "train_detector"]
+
+
+@dataclass
+class TrainingResult:
+    """Loss/accuracy history of one training run."""
+
+    train_losses: list = field(default_factory=list)
+    train_accuracies: list = field(default_factory=list)
+    epochs: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.train_accuracies[-1] if self.train_accuracies else float("nan")
+
+
+class Trainer:
+    """Mini-batch trainer for classification models.
+
+    Parameters
+    ----------
+    model:
+        Any module mapping an input batch tensor to class logits.
+    learning_rate, momentum, weight_decay:
+        SGD hyper-parameters (Algorithm 1 trains θ with SGD).
+    optimizer:
+        ``"sgd"`` or ``"adam"``.
+    loss_hook:
+        Optional callable ``(model, inputs, labels, base_loss) -> Tensor``
+        letting baselines (e.g. AWP) modify the loss per batch.
+    """
+
+    def __init__(self, model: Module, learning_rate: float = 0.05, momentum: float = 0.9,
+                 weight_decay: float = 0.0, optimizer: str = "sgd",
+                 loss_hook: Callable | None = None, rng=None):
+        self.model = model
+        self.rng = get_rng(rng)
+        self.loss_hook = loss_hook
+        if optimizer == "sgd":
+            self.optimizer: Optimizer = SGD(model.parameters(), lr=learning_rate,
+                                            momentum=momentum, weight_decay=weight_decay)
+        elif optimizer == "adam":
+            self.optimizer = Adam(model.parameters(), lr=learning_rate,
+                                  weight_decay=weight_decay)
+        else:
+            raise ValueError(f"unknown optimizer {optimizer!r}")
+
+    def train_epoch(self, loader: DataLoader) -> tuple[float, float]:
+        """One pass over the loader; returns (mean loss, accuracy)."""
+        self.model.train()
+        total_loss = 0.0
+        total_correct = 0
+        total_seen = 0
+        for inputs, labels in loader:
+            batch = Tensor(inputs)
+            logits = self.model(batch)
+            loss = cross_entropy(logits, labels)
+            if self.loss_hook is not None:
+                loss = self.loss_hook(self.model, batch, labels, loss)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            total_loss += loss.item() * len(labels)
+            total_correct += int((logits.data.argmax(axis=1) == labels).sum())
+            total_seen += len(labels)
+        return total_loss / max(total_seen, 1), total_correct / max(total_seen, 1)
+
+    def fit(self, dataset: Dataset, epochs: int = 5, batch_size: int = 64) -> TrainingResult:
+        """Train for ``epochs`` passes over ``dataset``."""
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, rng=self.rng)
+        result = TrainingResult()
+        for _ in range(epochs):
+            loss, accuracy = self.train_epoch(loader)
+            result.train_losses.append(loss)
+            result.train_accuracies.append(accuracy)
+            result.epochs += 1
+        return result
+
+    def evaluate(self, dataset: Dataset, batch_size: int = 128) -> float:
+        """Clean test accuracy of the current weights."""
+        self.model.eval()
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+        correct = 0
+        for inputs, labels in loader:
+            with no_grad():
+                logits = self.model(Tensor(inputs))
+            correct += int((logits.data.argmax(axis=1) == labels).sum())
+        return correct / max(len(dataset), 1)
+
+
+def train_classifier(model: Module, dataset: Dataset, epochs: int = 5,
+                     batch_size: int = 64, learning_rate: float = 0.05,
+                     momentum: float = 0.9, weight_decay: float = 0.0,
+                     optimizer: str = "sgd", rng=None) -> TrainingResult:
+    """Convenience wrapper: build a :class:`Trainer` and fit it."""
+    trainer = Trainer(model, learning_rate=learning_rate, momentum=momentum,
+                      weight_decay=weight_decay, optimizer=optimizer, rng=rng)
+    return trainer.fit(dataset, epochs=epochs, batch_size=batch_size)
+
+
+def train_detector(detector, samples, epochs: int = 10, batch_size: int = 8,
+                   learning_rate: float = 0.01, rng=None) -> list[float]:
+    """Train a :class:`~repro.models.detection.TinyDetector` on detection samples.
+
+    Returns the per-epoch mean loss.
+    """
+    rng = get_rng(rng)
+    optimizer = Adam(detector.parameters(), lr=learning_rate)
+    losses = []
+    indices = np.arange(len(samples))
+    for _ in range(epochs):
+        rng.shuffle(indices)
+        epoch_loss = 0.0
+        batches = 0
+        detector.train()
+        for start in range(0, len(indices), batch_size):
+            batch_idx = indices[start:start + batch_size]
+            images = np.stack([samples[i].image for i in batch_idx])
+            boxes = [samples[i].boxes for i in batch_idx]
+            loss = detector.loss(Tensor(images), boxes)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+    return losses

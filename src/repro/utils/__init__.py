@@ -1,0 +1,11 @@
+"""Shared utilities: random-number management, configuration, serialization."""
+
+from .rng import get_rng, seed_everything, spawn_rng
+from .serialization import load_state, save_state
+from .config import ExperimentConfig
+
+__all__ = [
+    "get_rng", "seed_everything", "spawn_rng",
+    "load_state", "save_state",
+    "ExperimentConfig",
+]

@@ -1,0 +1,40 @@
+"""Experiment configuration dataclass shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters controlling one robustness experiment.
+
+    The defaults are scaled down from the paper (which trains full-size
+    networks on GPU) so that an experiment completes on CPU in seconds while
+    preserving the qualitative comparison between methods.
+    """
+
+    seed: int = 0
+    epochs: int = 5
+    batch_size: int = 64
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    optimizer: str = "sgd"
+    weight_decay: float = 0.0
+    train_samples: int = 512
+    test_samples: int = 256
+    monte_carlo_samples: int = 3
+    bo_trials: int = 8
+    sigma_grid: tuple = (0.0, 0.3, 0.6, 0.9, 1.2, 1.5)
+    drift_trials: int = 5
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def fast(cls) -> "ExperimentConfig":
+        """A configuration small enough for unit tests and CI."""
+        return cls(epochs=2, train_samples=128, test_samples=64,
+                   monte_carlo_samples=2, bo_trials=4, drift_trials=3,
+                   sigma_grid=(0.0, 0.5, 1.0))

@@ -1,0 +1,47 @@
+"""Centralised random-number-generator management.
+
+Every stochastic component in the library (weight initialisation, dropout,
+fault injection, data synthesis, Bayesian-optimisation candidate sampling)
+draws from a ``numpy.random.Generator``.  To make experiments reproducible,
+components either accept an explicit generator or fall back to the process
+global generator managed here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["seed_everything", "get_rng", "spawn_rng"]
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed the global generator (and Python's ``random``) and return it."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    return _GLOBAL_RNG
+
+
+def get_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Resolve an optional rng argument.
+
+    ``None`` returns the global generator, an integer creates a fresh seeded
+    generator, and an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return _GLOBAL_RNG
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng
+
+
+def spawn_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Create an independent child generator from ``rng`` (or the global one)."""
+    parent = get_rng(rng)
+    seed = int(parent.integers(0, 2 ** 63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,26 @@
+"""Model state serialization to ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(state: dict, path: str | Path) -> Path:
+    """Save a flat ``name -> ndarray`` state dict (e.g. ``Module.state_dict()``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{key: np.asarray(value) for key, value in state.items()})
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state(path: str | Path) -> dict:
+    """Load a state dict previously written by :func:`save_state`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}

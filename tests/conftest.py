@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticMNIST, train_test_split
+from repro.utils.config import ExperimentConfig
+from repro.utils.rng import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rng():
+    """Every test starts from the same global seed for reproducibility."""
+    seed_everything(1234)
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """An ExperimentConfig small enough for unit tests."""
+    return ExperimentConfig(epochs=2, train_samples=96, test_samples=48,
+                            monte_carlo_samples=2, bo_trials=3, drift_trials=2,
+                            sigma_grid=(0.0, 0.5, 1.0), batch_size=32,
+                            learning_rate=0.1)
+
+
+@pytest.fixture(scope="session")
+def mnist_split():
+    """A small synthetic-MNIST train/test split shared across tests."""
+    dataset = SyntheticMNIST(n_samples=240, image_size=16, rng=7)
+    return train_test_split(dataset, test_fraction=0.25, rng=7)

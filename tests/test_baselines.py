@@ -1,0 +1,173 @@
+"""Tests for the ERM / ReRAM-V / AWP / FTNA baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ERM, ReRAMV, AWP, FTNA, build_codebook, build_method, available_methods
+from repro.baselines.ftna import ECOCHead, replace_final_linear
+from repro.data import SyntheticMNIST, train_test_split
+from repro.evaluation import accuracy
+from repro.models import build_mlp, build_model
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+from repro.utils.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def split():
+    dataset = SyntheticMNIST(n_samples=200, image_size=16, rng=11)
+    return train_test_split(dataset, test_fraction=0.25, rng=11)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(epochs=3, batch_size=32, learning_rate=0.1,
+                            train_samples=150, test_samples=50)
+
+
+class TestERM:
+    def test_training_improves_accuracy(self, split, config):
+        train_set, test_set = split
+        model = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=0)
+        untrained = accuracy(model, test_set)
+        ERM(config, rng=0).apply(model, train_set)
+        assert accuracy(model, test_set) > untrained + 0.2
+
+    def test_registry_builds_erm(self, config):
+        assert isinstance(build_method("erm", config=config), ERM)
+
+
+class TestReRAMV:
+    def test_compensation_changes_weights(self, split, config):
+        train_set, _ = split
+        model = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=0)
+        reference = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=0)
+        ERM(config, rng=0).apply(reference, train_set)
+        ReRAMV(config, rng=0).apply(model, train_set)
+        different = any(not np.array_equal(a.data, b.data)
+                        for (_, a), (_, b) in zip(model.named_parameters(),
+                                                  reference.named_parameters()))
+        assert different
+
+    def test_still_reaches_reasonable_clean_accuracy(self, split, config):
+        train_set, test_set = split
+        model = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=0)
+        ReRAMV(config, rng=0).apply(model, train_set)
+        assert accuracy(model, test_set) > 0.3
+
+    def test_extra_options_respected(self, split):
+        train_set, _ = split
+        config = ExperimentConfig(epochs=1, learning_rate=0.1,
+                                  extra={"diagnosed_sigma": 0.0, "readjust_epochs": 0})
+        model = build_mlp(256, depth=2, width=16, num_classes=10, rng=0)
+        reference_state = None
+        ReRAMV(config, rng=0).apply(model, train_set)
+        # With diagnosed_sigma=0 and no readjustment the method reduces to ERM,
+        # so it must run without error and keep finite weights.
+        assert all(np.isfinite(p.data).all() for p in model.parameters())
+        assert reference_state is None
+
+
+class TestAWP:
+    def test_training_learns_task(self, split, config):
+        train_set, test_set = split
+        model = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=0)
+        AWP(config, rng=0).apply(model, train_set)
+        assert accuracy(model, test_set) > 0.4
+
+    def test_perturbation_restored_after_each_step(self, split):
+        """AWP must not leave the adversarial perturbation in the weights:
+        train one epoch with gamma=0 and with tiny gamma; the weight scale
+        should stay comparable (no runaway growth)."""
+        train_set, _ = split
+        config = ExperimentConfig(epochs=2, learning_rate=0.05,
+                                  extra={"gamma": 0.01, "awp_warmup": 0})
+        model = build_mlp(256, depth=2, width=16, num_classes=10, rng=0)
+        AWP(config, rng=0).apply(model, train_set)
+        norms = [np.linalg.norm(p.data) for p in model.parameters()]
+        assert all(np.isfinite(n) and n < 1e3 for n in norms)
+
+    def test_large_gamma_degrades_training(self, split):
+        """The paper observes AWP can fail when the attack is too strong."""
+        train_set, test_set = split
+        weak = ExperimentConfig(epochs=3, learning_rate=0.1, extra={"gamma": 0.01})
+        strong = ExperimentConfig(epochs=3, learning_rate=0.1, extra={"gamma": 1.5})
+        model_weak = build_mlp(256, depth=2, width=32, num_classes=10, rng=0)
+        model_strong = build_mlp(256, depth=2, width=32, num_classes=10, rng=0)
+        AWP(weak, rng=0).apply(model_weak, train_set)
+        AWP(strong, rng=0).apply(model_strong, train_set)
+        assert accuracy(model_weak, test_set) >= accuracy(model_strong, test_set) - 0.05
+
+
+class TestCodebook:
+    def test_codebook_shape_and_binary(self):
+        codebook = build_codebook(10, 16, rng=0)
+        assert codebook.shape == (10, 16)
+        assert set(np.unique(codebook)) <= {0.0, 1.0}
+
+    def test_codewords_distinct(self):
+        codebook = build_codebook(10, 16, rng=0)
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(codebook[i], codebook[j])
+
+    def test_minimum_distance_enforced(self):
+        codebook = build_codebook(4, 16, rng=0, min_distance=3)
+        distances = [np.abs(codebook[i] - codebook[j]).sum()
+                     for i in range(4) for j in range(i + 1, 4)]
+        assert min(distances) >= 3
+
+    def test_too_short_code_rejected(self):
+        with pytest.raises(ValueError):
+            build_codebook(10, 3)
+
+
+class TestECOCHead:
+    def test_forward_returns_class_scores(self):
+        codebook = build_codebook(5, 8, rng=0)
+        head = ECOCHead(12, codebook, rng=0)
+        scores = head(Tensor(np.random.default_rng(0).standard_normal((3, 12))))
+        assert scores.shape == (3, 5)
+        assert np.all(scores.data <= 0)  # negative distances
+
+    def test_replace_final_linear_swaps_head(self):
+        model = build_mlp(64, depth=3, width=16, num_classes=10, rng=0)
+        codebook = build_codebook(10, 8, rng=0)
+        head = ECOCHead(16, codebook, rng=0)
+        replace_final_linear(model, head)
+        out = model(Tensor(np.zeros((2, 64))))
+        assert out.shape == (2, 10)
+
+    def test_replace_final_linear_width_mismatch(self):
+        model = build_mlp(64, depth=3, width=16, num_classes=10, rng=0)
+        head = ECOCHead(99, build_codebook(10, 8, rng=0), rng=0)
+        with pytest.raises(ValueError):
+            replace_final_linear(model, head)
+
+
+class TestFTNA:
+    def test_apply_trains_and_decodes(self, split):
+        train_set, test_set = split
+        # The per-bit BCE objective converges more slowly than softmax
+        # cross-entropy, so FTNA gets a larger epoch/learning-rate budget here.
+        ftna_config = ExperimentConfig(epochs=20, batch_size=32, learning_rate=0.2)
+        model = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=0)
+        FTNA(num_classes=10, config=ftna_config, rng=0).apply(model, train_set)
+        assert accuracy(model, test_set) > 0.5
+
+    def test_final_layer_is_ecoc_head(self, split, config):
+        train_set, _ = split
+        model = build_model("mlp", num_classes=10, in_channels=1, image_size=16, rng=0)
+        FTNA(num_classes=10, config=config, rng=0).apply(model, train_set)
+        heads = [m for _, m in model.named_modules() if isinstance(m, ECOCHead)]
+        assert len(heads) == 1
+
+    def test_registry_names(self, config):
+        assert set(available_methods()) == {"erm", "reram-v", "awp", "ftna"}
+        assert isinstance(build_method("ftna", num_classes=10, config=config), FTNA)
+        assert isinstance(build_method("reram_v", config=config), ReRAMV)
+        assert isinstance(build_method("awp", config=config), AWP)
+        with pytest.raises(ValueError):
+            build_method("dropout-only")

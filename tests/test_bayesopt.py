@@ -1,0 +1,202 @@
+"""Tests for kernels, GP regression, acquisitions and the BO loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayesopt import (
+    ExponentialKernel, RBFKernel, Matern52Kernel, GaussianProcessRegressor,
+    PosteriorMean, ExpectedImprovement, UpperConfidenceBound,
+    BayesianOptimizer, RandomSearchOptimizer, GridSearchOptimizer,
+)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", [ExponentialKernel(), RBFKernel(), Matern52Kernel()])
+    def test_kernel_matrix_is_symmetric_psd(self, kernel):
+        x = np.random.default_rng(0).random((12, 3))
+        K = kernel(x, x)
+        assert np.allclose(K, K.T)
+        eigenvalues = np.linalg.eigvalsh(K)
+        assert eigenvalues.min() > -1e-8
+
+    @pytest.mark.parametrize("kernel", [ExponentialKernel(), RBFKernel(), Matern52Kernel()])
+    def test_self_similarity_equals_output_scale(self, kernel):
+        x = np.random.default_rng(1).random((5, 2))
+        assert np.allclose(np.diag(kernel(x, x)), kernel.diag(x))
+        assert np.allclose(kernel.diag(x), 1.0)
+
+    def test_exponential_kernel_decreases_with_distance(self):
+        kernel = ExponentialKernel()
+        near = kernel(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = kernel(np.array([[0.0]]), np.array([[2.0]]))[0, 0]
+        assert near > far
+
+    def test_ard_lengthscales_weight_dimensions(self):
+        kernel = ExponentialKernel(lengthscales=np.array([0.1, 10.0]))
+        # A move along the small-lengthscale axis changes similarity much more.
+        base = np.array([[0.0, 0.0]])
+        along_first = kernel(base, np.array([[1.0, 0.0]]))[0, 0]
+        along_second = kernel(base, np.array([[0.0, 1.0]]))[0, 0]
+        assert along_first < along_second
+
+    def test_lengthscale_dimension_mismatch_raises(self):
+        kernel = ExponentialKernel(lengthscales=np.ones(3))
+        with pytest.raises(ValueError):
+            kernel(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialKernel(output_scale=0.0)
+        with pytest.raises(ValueError):
+            Matern52Kernel(lengthscale=-1.0)
+
+
+class TestGaussianProcess:
+    def test_posterior_mean_interpolates_training_points(self):
+        X = np.linspace(0, 1, 6)[:, None]
+        y = np.sin(4 * X).ravel()
+        gp = GaussianProcessRegressor(noise=1e-8).fit(X, y)
+        assert np.allclose(gp.predict(X), y, atol=1e-3)
+
+    def test_posterior_std_is_small_at_training_points(self):
+        X = np.linspace(0, 1, 5)[:, None]
+        y = X.ravel() ** 2
+        gp = GaussianProcessRegressor(noise=1e-8).fit(X, y)
+        _, std_at_train = gp.predict(X, return_std=True)
+        _, std_far = gp.predict(np.array([[5.0]]), return_std=True)
+        assert std_at_train.max() < std_far[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_normalization_handles_constant_targets(self):
+        X = np.random.default_rng(0).random((4, 2))
+        gp = GaussianProcessRegressor().fit(X, np.full(4, 3.0))
+        assert np.allclose(gp.predict(X), 3.0, atol=1e-6)
+
+    def test_duplicate_points_do_not_crash(self):
+        X = np.zeros((5, 2))
+        y = np.ones(5)
+        gp = GaussianProcessRegressor().fit(X, y)
+        assert np.isfinite(gp.predict(np.array([[0.5, 0.5]]))[0])
+
+    def test_log_marginal_likelihood_finite(self):
+        X = np.random.default_rng(0).random((8, 2))
+        y = np.random.default_rng(1).random(8)
+        gp = GaussianProcessRegressor().fit(X, y)
+        assert np.isfinite(gp.log_marginal_likelihood())
+
+    @given(st.integers(min_value=3, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_posterior_variance_nonnegative(self, n_points):
+        rng = np.random.default_rng(n_points)
+        X = rng.random((n_points, 2))
+        y = rng.random(n_points)
+        gp = GaussianProcessRegressor().fit(X, y)
+        _, std = gp.predict(rng.random((20, 2)), return_std=True)
+        assert np.all(std >= 0)
+
+
+class TestAcquisitions:
+    def _fitted_gp(self):
+        X = np.array([[0.0], [0.5], [1.0]])
+        y = np.array([0.0, 1.0, 0.2])
+        return GaussianProcessRegressor(noise=1e-6).fit(X, y)
+
+    def test_posterior_mean_prefers_high_mean_region(self):
+        gp = self._fitted_gp()
+        candidates = np.array([[0.5], [0.0]])
+        scores = PosteriorMean()(gp, candidates, best_observed=1.0)
+        assert scores[0] > scores[1]
+
+    def test_expected_improvement_nonnegative(self):
+        gp = self._fitted_gp()
+        candidates = np.linspace(0, 1, 20)[:, None]
+        scores = ExpectedImprovement()(gp, candidates, best_observed=1.0)
+        assert np.all(scores >= -1e-12)
+
+    def test_ucb_increases_with_beta(self):
+        gp = self._fitted_gp()
+        candidate = np.array([[0.75]])
+        low = UpperConfidenceBound(beta=0.1)(gp, candidate, 1.0)[0]
+        high = UpperConfidenceBound(beta=5.0)(gp, candidate, 1.0)[0]
+        assert high > low
+
+    def test_invalid_acquisition_parameters(self):
+        with pytest.raises(ValueError):
+            ExpectedImprovement(xi=-1.0)
+        with pytest.raises(ValueError):
+            UpperConfidenceBound(beta=-1.0)
+
+
+class TestBayesianOptimizer:
+    @staticmethod
+    def _objective(point):
+        # Maximum value 1.0 at (0.3, 0.7).
+        target = np.array([0.3, 0.7])
+        return float(1.0 - np.sum((point - target) ** 2))
+
+    def test_optimize_finds_near_optimum(self):
+        optimizer = BayesianOptimizer([(0.0, 1.0), (0.0, 1.0)], n_initial=4, rng=0)
+        trace = optimizer.optimize(self._objective, n_trials=25)
+        assert trace.best_value > 0.9
+
+    def test_beats_random_search_on_average(self):
+        bo_best, rs_best = [], []
+        for seed in range(3):
+            bo = BayesianOptimizer([(0.0, 1.0), (0.0, 1.0)], n_initial=3, rng=seed)
+            rs = RandomSearchOptimizer([(0.0, 1.0), (0.0, 1.0)], rng=seed)
+            bo_best.append(bo.optimize(self._objective, n_trials=15).best_value)
+            rs_best.append(rs.optimize(self._objective, n_trials=15).best_value)
+        assert np.mean(bo_best) >= np.mean(rs_best) - 0.02
+
+    def test_suggestions_respect_bounds(self):
+        optimizer = BayesianOptimizer([(0.2, 0.4), (0.6, 0.9)], n_initial=2, rng=0)
+        for _ in range(10):
+            point = optimizer.suggest()
+            assert 0.2 <= point[0] <= 0.4
+            assert 0.6 <= point[1] <= 0.9
+            optimizer.observe(point, self._objective(point))
+
+    def test_observe_rejects_wrong_dimension(self):
+        optimizer = BayesianOptimizer([(0.0, 1.0)], rng=0)
+        with pytest.raises(ValueError):
+            optimizer.observe(np.zeros(3), 0.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer([(1.0, 0.0)])
+        with pytest.raises(ValueError):
+            BayesianOptimizer([(0.0, 1.0)], n_initial=0)
+
+    def test_trace_running_best_is_monotone(self):
+        optimizer = BayesianOptimizer([(0.0, 1.0)], n_initial=2, rng=0)
+        trace = optimizer.optimize(lambda p: float(p[0]), n_trials=8)
+        running = trace.running_best()
+        assert np.all(np.diff(running) >= 0)
+        assert len(trace) == 8
+
+
+class TestRandomAndGridSearch:
+    def test_random_search_respects_bounds(self):
+        rs = RandomSearchOptimizer([(2.0, 3.0)], rng=0)
+        trace = rs.optimize(lambda p: float(p[0]), n_trials=20)
+        assert all(2.0 <= point[0] <= 3.0 for point in trace.points)
+
+    def test_grid_search_covers_corners(self):
+        gs = GridSearchOptimizer([(0.0, 1.0), (0.0, 1.0)], points_per_dim=3)
+        trace = gs.optimize(lambda p: float(p.sum()))
+        assert len(trace) == 9
+        assert trace.best_value == pytest.approx(2.0)
+
+    def test_grid_search_validation(self):
+        with pytest.raises(ValueError):
+            GridSearchOptimizer([(0.0, 1.0)], points_per_dim=1)

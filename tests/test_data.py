@@ -1,0 +1,224 @@
+"""Tests for the synthetic datasets, loaders and transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    make_moons, make_blobs, ToyDataset, SyntheticMNIST, SyntheticCIFAR,
+    SyntheticGTSRB, SyntheticPedestrians, Dataset, DataLoader, train_test_split,
+    normalize_images, random_crop, random_flip, add_pixel_noise,
+)
+
+
+class TestToyData:
+    def test_make_moons_shapes_and_labels(self):
+        points, labels = make_moons(101, rng=0)
+        assert points.shape == (101, 2)
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_make_blobs_class_count(self):
+        _, labels = make_blobs(300, centers=4, rng=0)
+        assert labels.max() == 3
+
+    def test_toy_dataset_grid_covers_data(self):
+        dataset = ToyDataset("moons", 50, rng=0)
+        grid, shape = dataset.grid(resolution=10)
+        assert grid.shape == (100, 2)
+        assert shape == (10, 10)
+        assert grid[:, 0].min() <= dataset.inputs[:, 0].min()
+        assert grid[:, 0].max() >= dataset.inputs[:, 0].max()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ToyDataset("spirals")
+
+
+class TestSyntheticMNIST:
+    def test_shapes_and_classes(self):
+        dataset = SyntheticMNIST(n_samples=50, image_size=16, rng=0)
+        assert dataset.inputs.shape == (50, 1, 16, 16)
+        assert dataset.num_classes == 10
+        assert dataset.input_dim == 256
+
+    def test_pixel_range(self):
+        dataset = SyntheticMNIST(n_samples=30, rng=0)
+        assert dataset.inputs.min() >= 0.0
+        assert dataset.inputs.max() <= 1.0
+
+    def test_flatten_option(self):
+        dataset = SyntheticMNIST(n_samples=20, image_size=16, flatten=True, rng=0)
+        assert dataset.inputs.shape == (20, 256)
+
+    def test_classes_balanced(self):
+        dataset = SyntheticMNIST(n_samples=100, rng=0)
+        counts = np.bincount(dataset.labels, minlength=10)
+        assert counts.min() >= 8
+
+    def test_different_digits_produce_different_images(self):
+        dataset = SyntheticMNIST(n_samples=200, noise=0.0, rng=0)
+        zero_image = dataset.inputs[dataset.labels == 0][0]
+        one_image = dataset.inputs[dataset.labels == 1][0]
+        assert not np.allclose(zero_image, one_image)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticMNIST(n_samples=5)
+
+    def test_determinism_given_seed(self):
+        a = SyntheticMNIST(n_samples=30, rng=42)
+        b = SyntheticMNIST(n_samples=30, rng=42)
+        assert np.array_equal(a.inputs, b.inputs)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestSyntheticCIFAR:
+    def test_shapes(self):
+        dataset = SyntheticCIFAR(n_samples=40, image_size=16, rng=0)
+        assert dataset.inputs.shape == (40, 3, 16, 16)
+        assert dataset.num_classes == 10
+
+    def test_custom_class_count(self):
+        dataset = SyntheticCIFAR(n_samples=30, num_classes=5, rng=0)
+        assert dataset.num_classes == 5
+        assert dataset.labels.max() <= 4
+
+    def test_pixel_range(self):
+        dataset = SyntheticCIFAR(n_samples=20, rng=0)
+        assert 0.0 <= dataset.inputs.min() and dataset.inputs.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCIFAR(n_samples=5, num_classes=10)
+        with pytest.raises(ValueError):
+            SyntheticCIFAR(num_classes=1)
+
+
+class TestSyntheticGTSRB:
+    def test_default_has_43_classes(self):
+        dataset = SyntheticGTSRB(n_samples=86, rng=0)
+        assert dataset.num_classes == 43
+        assert dataset.inputs.shape[1:] == (3, 16, 16)
+
+    def test_class_count_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticGTSRB(num_classes=44)
+
+    def test_classes_visually_distinct(self):
+        dataset = SyntheticGTSRB(n_samples=86, noise=0.0, rng=0)
+        image_a = dataset.inputs[dataset.labels == 0][0]
+        image_b = dataset.inputs[dataset.labels == 1][0]
+        assert np.abs(image_a - image_b).mean() > 0.01
+
+
+class TestSyntheticPedestrians:
+    def test_sample_structure(self):
+        dataset = SyntheticPedestrians(n_samples=6, image_size=32, rng=0)
+        assert len(dataset) == 6
+        sample = dataset[0]
+        assert sample.image.shape == (3, 32, 32)
+        assert sample.boxes.shape[1] == 4
+        assert sample.num_objects >= 1
+
+    def test_boxes_within_image(self):
+        dataset = SyntheticPedestrians(n_samples=10, image_size=32, rng=0)
+        for sample in dataset:
+            assert np.all(sample.boxes[:, 0] < sample.boxes[:, 2])
+            assert np.all(sample.boxes[:, 1] < sample.boxes[:, 3])
+            assert sample.boxes.min() >= 0
+            assert sample.boxes.max() <= 32
+
+    def test_images_method_stacks(self):
+        dataset = SyntheticPedestrians(n_samples=4, rng=0)
+        assert dataset.images().shape == (4, 3, 32, 32)
+
+    def test_split_partitions_samples(self):
+        dataset = SyntheticPedestrians(n_samples=20, rng=0)
+        train, test = dataset.split(test_fraction=0.25, rng=0)
+        assert len(train) + len(test) == 20
+        assert len(test) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticPedestrians(n_samples=0)
+        with pytest.raises(ValueError):
+            SyntheticPedestrians(max_pedestrians=0)
+
+
+class TestDatasetAndLoader:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_subset_preserves_class_count(self):
+        dataset = SyntheticMNIST(n_samples=40, rng=0)
+        subset = dataset.subset(np.arange(5))
+        assert subset.num_classes == 10
+
+    def test_loader_batches_cover_dataset(self):
+        dataset = Dataset(np.arange(23).reshape(23, 1).astype(float), np.zeros(23, dtype=int))
+        loader = DataLoader(dataset, batch_size=5, shuffle=False)
+        seen = sum(len(labels) for _, labels in loader)
+        assert seen == 23
+        assert len(loader) == 5
+
+    def test_loader_drop_last(self):
+        dataset = Dataset(np.zeros((23, 1)), np.zeros(23, dtype=int))
+        loader = DataLoader(dataset, batch_size=5, drop_last=True)
+        assert len(loader) == 4
+        assert sum(len(labels) for _, labels in loader) == 20
+
+    def test_loader_shuffles(self):
+        dataset = Dataset(np.arange(50).reshape(50, 1).astype(float), np.arange(50))
+        loader = DataLoader(dataset, batch_size=50, shuffle=True, rng=0)
+        (inputs, _), = list(loader)
+        assert not np.array_equal(inputs.ravel(), np.arange(50))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(Dataset(np.zeros((2, 1)), np.zeros(2)), batch_size=0)
+
+    def test_train_test_split_fraction(self):
+        dataset = Dataset(np.zeros((100, 2)), np.zeros(100, dtype=int))
+        train, test = train_test_split(dataset, test_fraction=0.2, rng=0)
+        assert len(train) == 80 and len(test) == 20
+
+    def test_train_test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(Dataset(np.zeros((10, 1)), np.zeros(10)), test_fraction=1.5)
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_split_is_a_partition(self, n):
+        dataset = Dataset(np.arange(n).reshape(n, 1).astype(float), np.zeros(n, dtype=int))
+        train, test = train_test_split(dataset, test_fraction=0.5, rng=0)
+        combined = np.sort(np.concatenate([train.inputs.ravel(), test.inputs.ravel()]))
+        assert np.array_equal(combined, np.arange(n))
+
+
+class TestTransforms:
+    def test_normalize_images_zero_mean(self):
+        images = np.random.default_rng(0).random((10, 1, 8, 8))
+        normalised = normalize_images(images)
+        assert abs(normalised.mean()) < 1e-10
+        assert normalised.std() == pytest.approx(1.0, rel=1e-6)
+
+    def test_random_crop_preserves_shape(self):
+        images = np.random.default_rng(0).random((4, 3, 16, 16))
+        assert random_crop(images, padding=2, rng=0).shape == images.shape
+
+    def test_random_crop_requires_nchw(self):
+        with pytest.raises(ValueError):
+            random_crop(np.zeros((4, 16, 16)))
+
+    def test_random_flip_probability_one_reverses(self):
+        images = np.arange(16.0).reshape(1, 1, 4, 4)
+        flipped = random_flip(images, probability=1.0, rng=0)
+        assert np.array_equal(flipped[0, 0, 0], images[0, 0, 0, ::-1])
+
+    def test_add_pixel_noise_stays_in_range(self):
+        images = np.random.default_rng(0).random((3, 1, 8, 8))
+        noisy = add_pixel_noise(images, sigma=0.5, rng=0)
+        assert noisy.min() >= 0.0 and noisy.max() <= 1.0

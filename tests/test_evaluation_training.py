@@ -1,0 +1,214 @@
+"""Tests for robustness evaluation, detection metrics, statistics and training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import SyntheticMNIST, SyntheticPedestrians, Dataset, train_test_split
+from repro.evaluation import (
+    accuracy, accuracy_under_drift, robustness_curve, RobustnessCurve,
+    average_precision, mean_average_precision, map_under_drift,
+    curve_auc, sigma_at_accuracy, compare_curves, mean_confidence_interval,
+)
+from repro.models import build_mlp, TinyDetector
+from repro.models.detection import Detection
+from repro.training import Trainer, TrainingResult, train_classifier, train_detector
+from repro.utils.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def trained_model_and_split():
+    dataset = SyntheticMNIST(n_samples=320, image_size=16, rng=5)
+    train_set, test_set = train_test_split(dataset, test_fraction=0.25, rng=5)
+    model = build_mlp(256, depth=3, width=96, num_classes=10, rng=5)
+    train_classifier(model, train_set, epochs=10, learning_rate=0.1, rng=5)
+    return model, train_set, test_set
+
+
+class TestAccuracyAndRobustness:
+    def test_accuracy_of_trained_model_is_high(self, trained_model_and_split):
+        model, _, test_set = trained_model_and_split
+        assert accuracy(model, test_set) > 0.8
+
+    def test_accuracy_under_zero_drift_matches_clean(self, trained_model_and_split):
+        model, _, test_set = trained_model_and_split
+        clean = accuracy(model, test_set)
+        drifted, std = accuracy_under_drift(model, test_set, sigma=0.0, trials=2, rng=0)
+        assert drifted == pytest.approx(clean)
+        assert std == pytest.approx(0.0)
+
+    def test_accuracy_degrades_with_large_drift(self, trained_model_and_split):
+        model, _, test_set = trained_model_and_split
+        clean = accuracy(model, test_set)
+        drifted, _ = accuracy_under_drift(model, test_set, sigma=1.5, trials=4, rng=0)
+        assert drifted < clean
+
+    def test_weights_unchanged_after_sweep(self, trained_model_and_split):
+        model, _, test_set = trained_model_and_split
+        before = model.state_dict()
+        robustness_curve(model, test_set, sigmas=(0.0, 1.0), trials=2, rng=0)
+        for key, value in model.state_dict().items():
+            assert np.array_equal(before[key], value)
+
+    def test_curve_structure(self, trained_model_and_split):
+        model, _, test_set = trained_model_and_split
+        curve = robustness_curve(model, test_set, sigmas=(0.0, 0.5, 1.0), trials=2,
+                                 label="test", rng=0)
+        assert len(curve) == 3
+        assert curve.label == "test"
+        assert curve.accuracy_at(0.0) == curve.means[0]
+        as_dict = curve.as_dict()
+        assert set(as_dict) == {"label", "sigmas", "means", "stds"}
+
+    def test_trials_validation(self, trained_model_and_split):
+        model, _, test_set = trained_model_and_split
+        with pytest.raises(ValueError):
+            accuracy_under_drift(model, test_set, sigma=0.5, trials=0)
+
+
+class TestCurveStatistics:
+    def _curve(self, means, sigmas=(0.0, 0.5, 1.0, 1.5)):
+        curve = RobustnessCurve(label="x")
+        for sigma, mean in zip(sigmas, means):
+            curve.add(sigma, mean, 0.0)
+        return curve
+
+    def test_auc_of_constant_curve(self):
+        assert curve_auc(self._curve([0.8, 0.8, 0.8, 0.8])) == pytest.approx(0.8)
+
+    def test_auc_prefers_more_robust_curve(self):
+        robust = self._curve([0.9, 0.9, 0.8, 0.7])
+        fragile = self._curve([0.9, 0.5, 0.2, 0.1])
+        assert curve_auc(robust) > curve_auc(fragile)
+
+    def test_sigma_at_accuracy_interpolates(self):
+        curve = self._curve([1.0, 1.0, 0.4, 0.2])
+        crossing = sigma_at_accuracy(curve, threshold=0.7)
+        assert 0.5 < crossing < 1.0
+
+    def test_sigma_at_accuracy_edge_cases(self):
+        always_low = self._curve([0.3, 0.2, 0.1, 0.1])
+        never_drops = self._curve([0.95, 0.94, 0.93, 0.92])
+        assert sigma_at_accuracy(always_low, 0.5) == 0.0
+        assert sigma_at_accuracy(never_drops, 0.5) == 1.5
+
+    def test_compare_curves_summary(self):
+        a = self._curve([0.9, 0.8, 0.7, 0.6])
+        b = self._curve([0.9, 0.6, 0.3, 0.2])
+        summary = compare_curves(a, b)
+        assert summary["auc_a"] > summary["auc_b"]
+        assert summary["a_wins_fraction"] >= 0.75
+
+    def test_compare_curves_requires_same_grid(self):
+        a = self._curve([0.9, 0.8, 0.7, 0.6])
+        b = self._curve([0.9, 0.8, 0.7], sigmas=(0.0, 0.5, 1.0))
+        with pytest.raises(ValueError):
+            compare_curves(a, b)
+
+    def test_mean_confidence_interval(self):
+        mean, half = mean_confidence_interval([1.0, 1.2, 0.8, 1.1, 0.9])
+        assert mean == pytest.approx(1.0)
+        assert half > 0
+        single_mean, single_half = mean_confidence_interval([2.0])
+        assert single_mean == 2.0 and single_half == 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_auc_bounded_by_curve_extremes(self, means):
+        curve = self._curve(means)
+        auc = curve_auc(curve)
+        assert min(means) - 1e-9 <= auc <= max(means) + 1e-9
+
+
+class TestDetectionMetrics:
+    def _perfect_predictions(self, truths):
+        return [[Detection(box=box.copy(), score=0.9) for box in boxes] for boxes in truths]
+
+    def test_perfect_detections_give_ap_one(self):
+        truths = [np.array([[2.0, 2.0, 10.0, 20.0]]), np.array([[5.0, 5.0, 15.0, 25.0]])]
+        assert average_precision(self._perfect_predictions(truths), truths) == pytest.approx(1.0)
+
+    def test_missed_objects_reduce_ap(self):
+        truths = [np.array([[2.0, 2.0, 10.0, 20.0], [20.0, 2.0, 28.0, 20.0]])]
+        predictions = [[Detection(box=np.array([2.0, 2.0, 10.0, 20.0]), score=0.9)]]
+        assert average_precision(predictions, truths) == pytest.approx(0.5)
+
+    def test_false_positives_reduce_ap(self):
+        truths = [np.array([[2.0, 2.0, 10.0, 20.0]])]
+        predictions = [[Detection(box=np.array([20.0, 20.0, 30.0, 30.0]), score=0.95),
+                        Detection(box=np.array([2.0, 2.0, 10.0, 20.0]), score=0.5)]]
+        assert 0.0 < average_precision(predictions, truths) < 1.0
+
+    def test_no_ground_truth_gives_zero(self):
+        assert average_precision([[]], [np.zeros((0, 4))]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            average_precision([[]], [np.zeros((0, 4)), np.zeros((0, 4))])
+
+    def test_map_under_drift_structure(self):
+        dataset = SyntheticPedestrians(n_samples=8, image_size=32, rng=0)
+        detector = TinyDetector(image_size=32, width=4, grid_size=8, rng=0)
+        result = map_under_drift(detector, dataset.samples, sigmas=(0.0, 0.5), trials=2, rng=0)
+        assert result["sigmas"] == [0.0, 0.5]
+        assert len(result["means"]) == 2
+        assert all(0.0 <= m <= 1.0 for m in result["means"])
+
+    def test_trained_detector_map_beats_untrained(self):
+        dataset = SyntheticPedestrians(n_samples=24, image_size=32, rng=1)
+        train, test = dataset.split(test_fraction=0.25, rng=1)
+        trained = TinyDetector(image_size=32, width=8, grid_size=8, rng=1)
+        untrained = TinyDetector(image_size=32, width=8, grid_size=8, rng=2)
+        train_detector(trained, train, epochs=8, learning_rate=0.01, rng=1)
+        assert mean_average_precision(trained, test) >= mean_average_precision(untrained, test)
+
+
+class TestTrainer:
+    def test_fit_reduces_loss(self):
+        dataset = SyntheticMNIST(n_samples=120, image_size=16, rng=9)
+        model = build_mlp(256, depth=3, width=32, num_classes=10, rng=9)
+        trainer = Trainer(model, learning_rate=0.1, rng=9)
+        result = trainer.fit(dataset, epochs=4, batch_size=32)
+        assert isinstance(result, TrainingResult)
+        assert result.epochs == 4
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert result.final_accuracy > 0.5
+        assert result.final_loss == result.train_losses[-1]
+
+    def test_adam_optimizer_option(self):
+        dataset = SyntheticMNIST(n_samples=80, image_size=16, rng=9)
+        model = build_mlp(256, depth=2, width=16, num_classes=10, rng=9)
+        trainer = Trainer(model, learning_rate=0.002, optimizer="adam", rng=9)
+        result = trainer.fit(dataset, epochs=2, batch_size=32)
+        assert result.train_losses[-1] <= result.train_losses[0]
+
+    def test_unknown_optimizer_rejected(self):
+        model = build_mlp(16, depth=2, width=8, num_classes=3, rng=0)
+        with pytest.raises(ValueError):
+            Trainer(model, optimizer="lbfgs")
+
+    def test_loss_hook_is_called(self):
+        dataset = SyntheticMNIST(n_samples=40, image_size=16, rng=9)
+        calls = []
+
+        def hook(model, inputs, labels, loss):
+            calls.append(1)
+            return loss
+
+        model = build_mlp(256, depth=2, width=8, num_classes=10, rng=0)
+        Trainer(model, learning_rate=0.05, loss_hook=hook, rng=0).fit(dataset, epochs=1)
+        assert len(calls) >= 1
+
+    def test_empty_training_result_defaults(self):
+        result = TrainingResult()
+        assert np.isnan(result.final_loss)
+        assert np.isnan(result.final_accuracy)
+
+    def test_train_detector_reduces_loss(self):
+        dataset = SyntheticPedestrians(n_samples=12, image_size=32, rng=2)
+        detector = TinyDetector(image_size=32, width=4, grid_size=8, rng=2)
+        losses = train_detector(detector, dataset.samples, epochs=4, learning_rate=0.02, rng=2)
+        assert len(losses) == 4
+        assert losses[-1] < losses[0]

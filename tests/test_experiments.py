@@ -1,0 +1,116 @@
+"""Integration tests for the per-figure experiment harnesses (tiny scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import RobustnessCurve
+from repro.experiments import (
+    run_decision_boundary_experiment,
+    run_dropout_ablation, run_depth_ablation, run_activation_ablation,
+    run_classification_comparison, FIG3_PANELS,
+    run_detection_comparison, run_detection_visualization,
+    run_bo_vs_random_ablation,
+)
+from repro.experiments.fig4_detection_visualization import render_ascii_detections
+from repro.utils.config import ExperimentConfig
+
+
+TINY = ExperimentConfig(epochs=2, train_samples=90, test_samples=40,
+                        monte_carlo_samples=1, bo_trials=2, drift_trials=1,
+                        sigma_grid=(0.0, 1.0), batch_size=32, learning_rate=0.1)
+
+
+class TestFig1:
+    def test_boundary_experiment_structure(self):
+        result = run_decision_boundary_experiment(sigmas=(0.0, 1.0), n_samples=120,
+                                                  epochs=10, grid_resolution=12,
+                                                  trials=2, seed=0)
+        assert result["clean_accuracy"] > 0.7
+        assert set(result["boundaries"]) == {0.0, 1.0}
+        assert result["boundaries"][0.0].shape == (12, 12)
+        # Accuracy at σ=1.0 must not exceed the clean accuracy by a margin.
+        assert result["accuracies"][1.0]["mean"] <= result["accuracies"][0.0]["mean"] + 0.05
+
+    def test_boundary_maps_are_probabilities(self):
+        result = run_decision_boundary_experiment(sigmas=(0.5,), n_samples=80, epochs=5,
+                                                  grid_resolution=8, trials=1, seed=1)
+        boundary = result["boundaries"][0.5]
+        assert boundary.min() >= 0.0 and boundary.max() <= 1.0
+
+
+class TestFig2:
+    def test_dropout_ablation_returns_three_curves(self):
+        curves = run_dropout_ablation(TINY, seed=0)
+        assert [c.label for c in curves] == ["Original Model", "DropOut", "Alpha DropOut"]
+        assert all(isinstance(c, RobustnessCurve) and len(c) == 2 for c in curves)
+
+    def test_depth_ablation_orders_depths(self):
+        curves = run_depth_ablation(TINY, seed=0, depths=(3, 6))
+        assert [c.label for c in curves] == ["3-Layer", "6-Layer"]
+
+    def test_activation_ablation_runs_all_four(self):
+        curves = run_activation_ablation(TINY, seed=0)
+        assert len(curves) == 4
+
+
+class TestFig3Classification:
+    def test_panel_registry_covers_paper(self):
+        assert len(FIG3_PANELS) == 9
+        assert "a_mlp_mnist" in FIG3_PANELS and "i_stn_gtsrb" in FIG3_PANELS
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError):
+            run_classification_comparison("z_unknown", TINY)
+
+    def test_mlp_panel_smoke(self):
+        result = run_classification_comparison("a_mlp_mnist", TINY,
+                                               methods=("erm", "bayesft"), seed=0)
+        labels = [curve.label for curve in result["curves"]]
+        assert labels == ["ERM", "BayesFT"]
+        assert result["sigmas"] == [0.0, 1.0]
+        for curve in result["curves"]:
+            assert all(0.0 <= m <= 1.0 for m in curve.means)
+        assert set(result["summary"]) == {"ERM", "BayesFT"}
+
+
+class TestFig3Detection:
+    def test_detection_comparison_structure(self):
+        config = ExperimentConfig(epochs=1, bo_trials=2, monte_carlo_samples=1,
+                                  drift_trials=1, extra={"detector_epochs": 2})
+        result = run_detection_comparison(config, seed=0, sigmas=(0.0, 0.4),
+                                          n_images=12, image_size=32)
+        labels = [curve["label"] for curve in result["curves"]]
+        assert labels == ["ERM", "BayesFT"]
+        assert len(result["best_alpha"]) >= 1
+        for curve in result["curves"]:
+            assert len(curve["means"]) == 2
+
+
+class TestFig4:
+    def test_visualization_records_boxes_per_drift_level(self):
+        config = ExperimentConfig(extra={"detector_epochs": 2}, drift_trials=1)
+        result = run_detection_visualization(drift_levels=(0.1, 0.4), config=config,
+                                             n_visualized=2, seed=0)
+        assert set(result["methods"]) == {"ERM", "BayesFT"}
+        for per_level in result["methods"].values():
+            assert set(per_level) == {0.1, 0.4}
+            for record in per_level.values():
+                assert 0.0 <= record["recall"] <= 1.0
+                assert 0.0 <= record["ap"] <= 1.0
+
+    def test_ascii_rendering(self):
+        image = np.zeros((3, 16, 16))
+        art = render_ascii_detections(image, [[2, 2, 8, 8]])
+        assert "+" in art
+        assert len(art.splitlines()) == 16
+
+
+class TestSearchAblation:
+    def test_bo_vs_random_returns_both_traces(self):
+        result = run_bo_vs_random_ablation(TINY, seed=0)
+        assert set(result) == {"bayes", "random"}
+        for record in result.values():
+            assert len(record["objective_trace"]) == TINY.bo_trials
+            assert 0.0 <= record["auc"] <= 1.0

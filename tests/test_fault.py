@@ -1,0 +1,204 @@
+"""Tests for fault models, the injector and per-layer policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.fault import (
+    LogNormalDrift, GaussianDrift, UniformDrift, StuckAtFault, BitFlipFault,
+    CompositeFault, drift_array, FaultInjector, inject_faults, fault_injection,
+    UniformPolicy, PerLayerSigmaPolicy,
+)
+from repro.models import build_mlp
+
+
+class TestLogNormalDrift:
+    def test_zero_sigma_is_identity(self):
+        weights = np.random.default_rng(0).standard_normal((5, 5))
+        drifted = LogNormalDrift(0.0)(weights, rng=0)
+        assert np.array_equal(drifted, weights)
+        assert drifted is not weights  # must be a copy
+
+    def test_sign_is_preserved(self):
+        weights = np.array([-1.0, 2.0, -3.0, 4.0])
+        drifted = LogNormalDrift(1.0)(weights, rng=0)
+        assert np.all(np.sign(drifted) == np.sign(weights))
+
+    def test_multiplicative_factor_statistics(self):
+        sigma = 0.5
+        weights = np.ones(200_000)
+        drifted = LogNormalDrift(sigma)(weights, rng=0)
+        log_factors = np.log(drifted)
+        assert log_factors.mean() == pytest.approx(0.0, abs=0.01)
+        assert log_factors.std() == pytest.approx(sigma, rel=0.02)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalDrift(-0.1)
+
+    def test_expected_relative_error_monotone_in_sigma(self):
+        errors = [LogNormalDrift(s).expected_relative_error() for s in (0.0, 0.3, 0.9, 1.5)]
+        assert errors[0] == 0.0
+        assert all(b > a for a, b in zip(errors, errors[1:]))
+
+    @given(st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_weights_stay_zero(self, sigma):
+        drifted = LogNormalDrift(sigma)(np.zeros(16), rng=1)
+        assert np.all(drifted == 0.0)
+
+    def test_drift_array_helper(self):
+        weights = np.ones(10)
+        assert not np.array_equal(drift_array(weights, 0.8, rng=0), weights)
+
+
+class TestOtherDriftModels:
+    def test_gaussian_drift_zero_sigma_identity(self):
+        weights = np.ones(8)
+        assert np.array_equal(GaussianDrift(0.0)(weights, rng=0), weights)
+
+    def test_gaussian_drift_relative_scales_with_magnitude(self):
+        rng_seed = 3
+        small = GaussianDrift(0.5)(np.full(50_000, 0.1), rng=rng_seed)
+        large = GaussianDrift(0.5)(np.full(50_000, 10.0), rng=rng_seed)
+        assert np.abs(large - 10.0).mean() > np.abs(small - 0.1).mean() * 50
+
+    def test_uniform_drift_bounded(self):
+        weights = np.ones(10_000)
+        drifted = UniformDrift(0.2)(weights, rng=0)
+        assert drifted.min() >= 0.8 - 1e-12
+        assert drifted.max() <= 1.2 + 1e-12
+
+    def test_stuck_at_fraction(self):
+        weights = np.ones(100_000)
+        drifted = StuckAtFault(0.05, stuck_value=0.0)(weights, rng=0)
+        assert (drifted == 0.0).mean() == pytest.approx(0.05, rel=0.1)
+
+    def test_stuck_at_probability_validation(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(1.5)
+
+    def test_bitflip_zero_probability_roundtrip(self):
+        weights = np.linspace(-1, 1, 17)
+        drifted = BitFlipFault(0.0, bits=8)(weights, rng=0)
+        assert np.array_equal(drifted, weights)
+
+    def test_bitflip_perturbs_weights(self):
+        weights = np.linspace(-1, 1, 1000)
+        drifted = BitFlipFault(0.05, bits=8)(weights, rng=0)
+        assert not np.array_equal(drifted, weights)
+        assert np.abs(drifted).max() <= np.abs(weights).max() * 2 + 1e-9
+
+    def test_bitflip_bits_validation(self):
+        with pytest.raises(ValueError):
+            BitFlipFault(0.1, bits=1)
+
+    def test_composite_applies_in_sequence(self):
+        weights = np.ones(1000)
+        composite = CompositeFault(LogNormalDrift(0.3), StuckAtFault(0.1))
+        drifted = composite(weights, rng=0)
+        assert (drifted == 0.0).mean() == pytest.approx(0.1, rel=0.3)
+        assert not np.array_equal(drifted[drifted != 0], weights[drifted != 0])
+
+    def test_composite_requires_models(self):
+        with pytest.raises(ValueError):
+            CompositeFault()
+
+
+class TestFaultInjector:
+    def _small_model(self):
+        return build_mlp(16, depth=2, width=8, num_classes=3, rng=0)
+
+    def test_inject_changes_parameters(self):
+        model = self._small_model()
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        injector = FaultInjector(model, LogNormalDrift(0.5), rng=0)
+        report = injector.inject()
+        changed = any(not np.array_equal(before[name], p.data)
+                      for name, p in model.named_parameters())
+        assert changed
+        assert all(value >= 0 for value in report.values())
+
+    def test_restore_returns_original_weights(self):
+        model = self._small_model()
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        injector = FaultInjector(model, LogNormalDrift(0.8), rng=0)
+        injector.inject()
+        injector.restore()
+        for name, parameter in model.named_parameters():
+            assert np.array_equal(before[name], parameter.data)
+
+    def test_skip_substrings(self):
+        model = self._small_model()
+        bias_before = {name: p.data.copy() for name, p in model.named_parameters()
+                       if "bias" in name}
+        injector = FaultInjector(model, LogNormalDrift(1.0), skip=("bias",), rng=0)
+        injector.inject()
+        for name, parameter in model.named_parameters():
+            if "bias" in name:
+                assert np.array_equal(bias_before[name], parameter.data)
+
+    def test_inject_faults_helper_returns_injector(self):
+        model = self._small_model()
+        injector = inject_faults(model, sigma=0.4, rng=0)
+        injector.restore()
+
+    def test_context_manager_restores_on_exit(self):
+        model = self._small_model()
+        before = model.state_dict()
+        with fault_injection(model, 0.9, rng=0):
+            drifted_state = model.state_dict()
+        after = model.state_dict()
+        weight_keys = [k for k in before if k.endswith("weight")]
+        assert any(not np.array_equal(before[k], drifted_state[k]) for k in weight_keys)
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_context_manager_restores_on_exception(self):
+        model = self._small_model()
+        before = model.state_dict()
+        with pytest.raises(RuntimeError):
+            with fault_injection(model, 0.9, rng=0):
+                raise RuntimeError("boom")
+        for key, value in model.state_dict().items():
+            assert np.array_equal(before[key], value)
+
+    def test_report_magnitude_grows_with_sigma(self):
+        small_model = self._small_model()
+        large_model = self._small_model()
+        small = np.mean(list(FaultInjector(small_model, LogNormalDrift(0.1), rng=0).inject().values()))
+        large = np.mean(list(FaultInjector(large_model, LogNormalDrift(1.0), rng=0).inject().values()))
+        assert large > small
+
+
+class TestPolicies:
+    def test_uniform_policy_returns_same_model(self):
+        policy = UniformPolicy(LogNormalDrift(0.5))
+        assert policy.model_for("anything") is policy.model_for("layer.weight")
+
+    def test_per_layer_policy_pattern_matching(self):
+        policy = PerLayerSigmaPolicy({r"head": 1.0, r"linear0": 0.1}, default_sigma=None)
+        assert policy.model_for("body.head.weight").sigma == 1.0
+        assert policy.model_for("body.linear0.weight").sigma == 0.1
+        assert policy.model_for("body.linear1.weight") is None
+
+    def test_per_layer_policy_default(self):
+        policy = PerLayerSigmaPolicy({r"head": 1.0}, default_sigma=0.2)
+        assert policy.model_for("other.weight").sigma == 0.2
+
+    def test_injector_with_policy_skips_unmatched(self):
+        model = build_mlp(16, depth=3, width=8, num_classes=3, rng=0)
+        policy = PerLayerSigmaPolicy({r"head": 2.0}, default_sigma=None)
+        before = model.state_dict()
+        injector = FaultInjector(model, policy, rng=0)
+        injector.inject()
+        for name, parameter in model.named_parameters():
+            if "head" in name and "weight" in name:
+                # Biases start at exactly zero, which multiplicative drift
+                # cannot change, so only the weight matrix is checked.
+                assert not np.array_equal(before[name], parameter.data)
+            elif "head" not in name:
+                assert np.array_equal(before[name], parameter.data)

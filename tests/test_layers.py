@@ -1,0 +1,237 @@
+"""Tests for layer classes: linear, conv, pooling, dropout, normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nn
+from repro.nn.layers.activations import make_activation
+from repro.nn.tensor import Tensor
+
+
+class TestLinearLayer:
+    def test_output_shape(self):
+        layer = nn.Linear(8, 3, rng=0)
+        assert layer(Tensor(np.zeros((5, 8)))).shape == (5, 3)
+
+    def test_no_bias_option(self):
+        layer = nn.Linear(4, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_unknown_init_scheme_raises(self):
+        with pytest.raises(ValueError):
+            nn.Linear(3, 3, init_scheme="bogus")
+
+    def test_xavier_init_scale(self):
+        layer = nn.Linear(100, 100, init_scheme="xavier", rng=0)
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= bound + 1e-12
+
+    def test_gradient_flows_to_parameters(self):
+        layer = nn.Linear(4, 2, rng=0)
+        out = layer(Tensor(np.ones((3, 4)), requires_grad=True))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestConvLayer:
+    def test_output_shape_and_spatial_helper(self):
+        layer = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=0)
+        out = layer(Tensor(np.zeros((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+        assert layer.output_spatial(16, 16) == (8, 8)
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(1, 1, kernel_size=0)
+
+    def test_parameters_registered(self):
+        layer = nn.Conv2d(2, 4, 3, rng=0)
+        names = dict(layer.named_parameters())
+        assert "weight" in names and "bias" in names
+
+
+class TestPoolingLayers:
+    def test_max_pool_layer(self):
+        layer = nn.MaxPool2d(2)
+        assert layer(Tensor(np.zeros((1, 1, 8, 8)))).shape == (1, 1, 4, 4)
+
+    def test_avg_pool_layer(self):
+        layer = nn.AvgPool2d(2)
+        assert layer(Tensor(np.ones((1, 2, 4, 4)))).data.mean() == pytest.approx(1.0)
+
+    def test_global_avg_pool(self):
+        layer = nn.GlobalAvgPool2d()
+        assert layer(Tensor(np.ones((2, 3, 5, 5)))).shape == (2, 3, 1, 1)
+
+    def test_flatten_layer(self):
+        layer = nn.Flatten()
+        assert layer(Tensor(np.zeros((2, 3, 4)))).shape == (2, 12)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = nn.Dropout(0.5, rng=0)
+        layer.eval()
+        x = Tensor(np.random.default_rng(0).standard_normal((10, 10)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_zero_rate_is_identity_in_train(self):
+        layer = nn.Dropout(0.0, rng=0)
+        x = Tensor(np.ones((5, 5)))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_train_mode_zeroes_roughly_rate_fraction(self):
+        layer = nn.Dropout(0.3, rng=0)
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.25 < zero_fraction < 0.35
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = nn.Dropout(0.4, rng=0)
+        x = Tensor(np.ones((200, 200)))
+        assert layer(x).data.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_set_rate_clips_to_valid_range(self):
+        layer = nn.Dropout(0.1, rng=0)
+        layer.set_rate(2.0)
+        assert layer.rate <= 0.95
+
+    @given(st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_set_rate_roundtrip(self, rate):
+        layer = nn.Dropout(0.0, rng=0)
+        layer.set_rate(rate)
+        assert layer.rate == pytest.approx(rate)
+
+    def test_gradient_flows_through_mask(self):
+        layer = nn.Dropout(0.5, rng=0)
+        x = Tensor(np.ones((20, 20)), requires_grad=True)
+        layer(x).sum().backward()
+        # Gradient is either 0 (dropped) or the inverted-dropout scale 1/(1-rate)=2.
+        unique = np.unique(np.round(x.grad, 6))
+        assert len(unique) <= 2
+        assert np.all(np.isin(unique, [0.0, 2.0]))
+
+
+class TestAlphaDropout:
+    def test_eval_mode_is_identity(self):
+        layer = nn.AlphaDropout(0.5, rng=0)
+        layer.eval()
+        x = Tensor(np.random.default_rng(0).standard_normal((10, 10)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_approximately_preserves_mean_and_variance(self):
+        layer = nn.AlphaDropout(0.3, rng=0)
+        x = Tensor(np.random.default_rng(1).standard_normal((400, 400)))
+        out = layer(x).data
+        assert abs(out.mean() - x.data.mean()) < 0.05
+        assert abs(out.std() - x.data.std()) < 0.15
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            nn.AlphaDropout(1.2)
+
+
+class TestNormalizationLayers:
+    def test_batchnorm1d_normalises_batch(self):
+        layer = nn.BatchNorm1d(4)
+        x = Tensor(np.random.default_rng(0).standard_normal((64, 4)) * 5 + 3)
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm1d_eval_uses_running_stats(self):
+        layer = nn.BatchNorm1d(2, momentum=0.5)
+        x = Tensor(np.random.default_rng(0).standard_normal((32, 2)) + 10.0)
+        layer(x)  # update running stats
+        layer.eval()
+        out = layer(Tensor(np.full((4, 2), 10.0))).data
+        assert np.all(np.isfinite(out))
+        assert np.abs(out).max() < 15.0
+
+    def test_batchnorm1d_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(np.zeros((2, 3, 4))))
+
+    def test_batchnorm2d_normalises_channels(self):
+        layer = nn.BatchNorm2d(3)
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 3, 6, 6)) * 2 + 1)
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+
+    def test_layernorm_normalises_each_sample(self):
+        layer = nn.LayerNorm(5)
+        x = Tensor(np.random.default_rng(0).standard_normal((7, 5)) * 3 + 2)
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-7)
+
+    def test_instancenorm_normalises_per_sample_channel(self):
+        layer = nn.InstanceNorm2d(2)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 2, 8, 8)) + 4)
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=(2, 3)), 0.0, atol=1e-6)
+
+    def test_groupnorm_requires_divisible_channels(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 4)
+
+    def test_groupnorm_normalises_groups(self):
+        layer = nn.GroupNorm(2, 4)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4, 5, 5)) * 2 - 1)
+        out = layer(x).data
+        grouped = out.reshape(2, 2, 2, 5, 5)
+        assert np.allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-6)
+
+    def test_affine_parameters_trainable(self):
+        layer = nn.BatchNorm2d(3)
+        params = dict(layer.named_parameters())
+        assert "weight" in params and "bias" in params
+
+    def test_norm_without_affine_has_no_parameters(self):
+        layer = nn.LayerNorm(3, affine=False)
+        assert len(list(layer.parameters())) == 0
+
+    def test_norm_gradients_flow(self):
+        layer = nn.GroupNorm(2, 4)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4, 3, 3)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert layer.weight.grad is not None
+
+
+class TestActivationLayers:
+    @pytest.mark.parametrize("name", ["relu", "leaky_relu", "elu", "gelu",
+                                      "tanh", "sigmoid", "identity"])
+    def test_factory_builds_every_activation(self, name):
+        layer = make_activation(name)
+        out = layer(Tensor(np.array([-1.0, 0.5])))
+        assert out.shape == (2,)
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_activation("swishy")
+
+    def test_identity_passthrough(self):
+        x = Tensor(np.array([1.0, -2.0]))
+        assert np.allclose(nn.Identity()(x).data, x.data)
+
+    def test_repr_strings(self):
+        assert "ReLU" in repr(nn.ReLU())
+        assert "Dropout" in repr(nn.Dropout(0.2))
+        assert "Linear" in repr(nn.Linear(2, 2))

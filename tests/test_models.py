@@ -1,0 +1,228 @@
+"""Tests for the model zoo: shapes, dropout placement, trainability hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MLP, build_mlp, LeNet5, AlexNetS, VGG11S, ResNet18S, PreActResNetS,
+    SpatialTransformerClassifier, TinyDetector, build_model, available_models,
+)
+from repro.models.detection import Detection, box_iou, non_max_suppression
+from repro.models.stn import affine_grid_sample
+from repro.nn.layers import Dropout
+from repro.nn.tensor import Tensor
+
+
+def _count_dropout_layers(model):
+    return sum(1 for _, module in model.named_modules() if isinstance(module, Dropout))
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        model = MLP(64, hidden_dims=(32, 16), num_classes=7, rng=0)
+        assert model(Tensor(np.zeros((5, 64)))).shape == (5, 7)
+
+    def test_accepts_image_input_via_flatten(self):
+        model = MLP(256, hidden_dims=(32,), num_classes=10, rng=0)
+        assert model(Tensor(np.zeros((2, 1, 16, 16)))).shape == (2, 10)
+
+    def test_build_mlp_depth_semantics(self):
+        model = build_mlp(64, depth=3, width=16, num_classes=4, rng=0)
+        linear_count = sum(1 for _, m in model.named_modules() if isinstance(m, nn.Linear))
+        assert linear_count == 3  # two hidden + one output layer
+
+    def test_build_mlp_rejects_shallow(self):
+        with pytest.raises(ValueError):
+            build_mlp(10, depth=1)
+
+    def test_dropout_layer_per_hidden_layer(self):
+        model = MLP(32, hidden_dims=(16, 16, 16), num_classes=3, dropout="dropout", rng=0)
+        assert _count_dropout_layers(model) == 3
+
+    def test_no_dropout_option(self):
+        model = MLP(32, hidden_dims=(16,), num_classes=3, dropout="none", rng=0)
+        assert _count_dropout_layers(model) == 0
+
+    @pytest.mark.parametrize("norm", ["none", "batch", "layer"])
+    def test_normalization_variants_forward(self, norm):
+        model = MLP(32, hidden_dims=(16,), num_classes=3, normalization=norm, rng=0)
+        assert model(Tensor(np.random.default_rng(0).standard_normal((4, 32)))).shape == (4, 3)
+
+    @pytest.mark.parametrize("activation", ["relu", "leaky_relu", "elu", "gelu"])
+    def test_activation_variants_forward(self, activation):
+        model = MLP(32, hidden_dims=(16,), num_classes=3, activation=activation, rng=0)
+        assert model(Tensor(np.zeros((2, 32)))).shape == (2, 3)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            MLP(0, (8,), 2)
+        with pytest.raises(ValueError):
+            MLP(8, (8,), 2, normalization="instance")
+        with pytest.raises(ValueError):
+            MLP(8, (8,), 2, dropout="bogus")
+
+
+class TestConvolutionalModels:
+    def test_lenet_forward_and_dropout_count(self):
+        model = LeNet5(num_classes=10, in_channels=1, image_size=16, rng=0)
+        assert model(Tensor(np.zeros((2, 1, 16, 16)))).shape == (2, 10)
+        assert _count_dropout_layers(model) == 4
+
+    def test_lenet_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            LeNet5(image_size=15)
+
+    def test_alexnet_forward(self):
+        model = AlexNetS(num_classes=10, image_size=16, width=4, rng=0)
+        assert model(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 10)
+
+    def test_vgg_forward(self):
+        model = VGG11S(num_classes=10, width=4, rng=0)
+        assert model(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 10)
+
+    def test_resnet_forward_and_norm_toggle(self):
+        with_norm = ResNet18S(num_classes=10, width=4, use_norm=True, rng=0)
+        without_norm = ResNet18S(num_classes=10, width=4, use_norm=False, rng=0)
+        x = Tensor(np.zeros((2, 3, 16, 16)))
+        assert with_norm(x).shape == (2, 10)
+        assert without_norm(x).shape == (2, 10)
+        norm_params = [n for n, _ in without_norm.named_parameters() if "norm" in n]
+        assert not norm_params
+
+    def test_preact_depth_ordering(self):
+        shallow = PreActResNetS(depth=18, width=4, rng=0)
+        mid = PreActResNetS(depth=50, width=4, rng=0)
+        deep = PreActResNetS(depth=152, width=4, depth_scale=0.25, rng=0)
+        assert shallow.num_blocks < mid.num_blocks
+        assert PreActResNetS(depth=152, width=4, depth_scale=1.0, rng=0).num_blocks > mid.num_blocks
+        assert deep(Tensor(np.zeros((1, 3, 16, 16)))).shape == (1, 10)
+
+    def test_preact_invalid_depth(self):
+        with pytest.raises(ValueError):
+            PreActResNetS(depth=34)
+        with pytest.raises(ValueError):
+            PreActResNetS(depth=18, depth_scale=0.0)
+
+    def test_all_models_have_dropout_for_bayesft(self):
+        for name in available_models():
+            if name == "detector":
+                model = build_model(name, image_size=32, in_channels=3, rng=0)
+            elif name in ("mlp", "lenet"):
+                model = build_model(name, num_classes=10, in_channels=1, image_size=16, rng=0)
+            else:
+                model = build_model(name, num_classes=10, in_channels=3, image_size=16,
+                                    width=4, rng=0)
+            assert _count_dropout_layers(model) >= 1, f"{name} has no dropout layers"
+
+
+class TestSpatialTransformer:
+    def test_affine_identity_reproduces_input(self):
+        images = np.random.default_rng(0).random((2, 3, 8, 8))
+        theta = np.tile(np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]]), (2, 1, 1))
+        out = affine_grid_sample(Tensor(images), Tensor(theta))
+        assert np.allclose(out.data, images, atol=1e-12)
+
+    def test_affine_translation_shifts_content(self):
+        images = np.zeros((1, 1, 9, 9))
+        images[0, 0, 4, 4] = 1.0
+        # Shift the sampling grid to the right: output samples from x+dx.
+        theta = np.array([[[1.0, 0.0, 0.25], [0.0, 1.0, 0.0]]])
+        out = affine_grid_sample(Tensor(images), Tensor(theta)).data
+        assert out[0, 0, 4, 4] != 1.0
+        assert out.max() > 0.0
+
+    def test_theta_shape_validation(self):
+        with pytest.raises(ValueError):
+            affine_grid_sample(Tensor(np.zeros((2, 1, 4, 4))), Tensor(np.zeros((2, 6))))
+
+    def test_stn_forward_shape(self):
+        model = SpatialTransformerClassifier(num_classes=43, image_size=16, width=4, rng=0)
+        assert model(Tensor(np.zeros((2, 3, 16, 16)))).shape == (2, 43)
+
+    def test_stn_initial_transform_is_identity(self):
+        model = SpatialTransformerClassifier(num_classes=5, image_size=16, width=4, rng=0)
+        images = Tensor(np.random.default_rng(0).random((2, 3, 16, 16)))
+        transformed = model.transform(images)
+        assert np.allclose(transformed.data, images.data, atol=1e-8)
+
+
+class TestTinyDetector:
+    def test_forward_shape(self):
+        detector = TinyDetector(image_size=32, grid_size=8, width=4, rng=0)
+        out = detector(Tensor(np.zeros((2, 3, 32, 32))))
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TinyDetector(image_size=30, grid_size=8)
+        with pytest.raises(ValueError):
+            TinyDetector(image_size=32, grid_size=2)
+
+    def test_encode_targets_marks_object_cells(self):
+        detector = TinyDetector(image_size=32, grid_size=8, width=4, rng=0)
+        boxes = [np.array([[4.0, 4.0, 12.0, 20.0]])]
+        objectness, targets, mask = detector.encode_targets(boxes)
+        assert objectness.sum() == 1.0
+        assert mask.sum() == 1.0
+        row, col = np.argwhere(mask[0] == 1.0)[0]
+        assert targets[0, 2, row, col] == pytest.approx(np.log(8.0 / 4.0))
+
+    def test_loss_is_finite_and_differentiable(self):
+        detector = TinyDetector(image_size=32, grid_size=8, width=4, rng=0)
+        images = Tensor(np.random.default_rng(0).random((2, 3, 32, 32)))
+        boxes = [np.array([[2.0, 2.0, 10.0, 20.0]]), np.array([[8.0, 8.0, 16.0, 28.0]])]
+        loss = detector.loss(images, boxes)
+        loss.backward()
+        assert np.isfinite(loss.item())
+        assert detector.head.weight.grad is not None
+
+    def test_decode_produces_detections(self):
+        detector = TinyDetector(image_size=32, grid_size=8, width=4, rng=0)
+        detections = detector.detect(np.random.default_rng(0).random((1, 3, 32, 32)),
+                                     score_threshold=0.0)
+        assert len(detections) == 1
+        assert all(isinstance(d, Detection) for d in detections[0])
+        for det in detections[0]:
+            assert det.box.min() >= 0 and det.box.max() <= 32
+
+
+class TestBoxUtilities:
+    def test_iou_identical_boxes(self):
+        box = np.array([0.0, 0.0, 10.0, 10.0])
+        assert box_iou(box, box) == pytest.approx(1.0)
+
+    def test_iou_disjoint_boxes(self):
+        assert box_iou(np.array([0, 0, 5, 5]), np.array([6, 6, 10, 10])) == 0.0
+
+    def test_iou_partial_overlap(self):
+        a = np.array([0.0, 0.0, 10.0, 10.0])
+        b = np.array([5.0, 0.0, 15.0, 10.0])
+        assert box_iou(a, b) == pytest.approx(50.0 / 150.0)
+
+    def test_nms_keeps_highest_score(self):
+        detections = [
+            Detection(box=np.array([0, 0, 10, 10]), score=0.9),
+            Detection(box=np.array([1, 1, 11, 11]), score=0.8),
+            Detection(box=np.array([20, 20, 30, 30]), score=0.7),
+        ]
+        kept = non_max_suppression(detections, iou_threshold=0.4)
+        assert len(kept) == 2
+        assert kept[0].score == pytest.approx(0.9)
+
+
+class TestModelRegistry:
+    def test_available_models_listed(self):
+        names = available_models()
+        assert {"mlp", "lenet", "alexnet", "vgg11", "resnet18",
+                "preact18", "preact50", "preact152", "stn", "detector"} <= set(names)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("transformer-xl")
+
+    def test_build_model_passes_kwargs(self):
+        model = build_model("resnet18", num_classes=7, in_channels=3, width=4, rng=0)
+        assert model(Tensor(np.zeros((1, 3, 16, 16)))).shape == (1, 7)

@@ -1,0 +1,175 @@
+"""Tests for the ReRAM crossbar substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reram import (
+    DeviceConfig, DeviceVariationModel, ConductanceMapper, Crossbar, CrossbarArray,
+    ReRAMLinear, deploy_on_reram,
+)
+from repro import nn
+from repro.models import build_mlp
+
+
+class TestDeviceConfig:
+    def test_defaults_are_valid(self):
+        config = DeviceConfig()
+        assert config.g_max > config.g_min > 0
+
+    def test_invalid_conductance_range_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(g_min=1e-4, g_max=1e-6)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(read_noise_sigma=-0.1)
+
+
+class TestDeviceVariationModel:
+    def test_effective_sigma_combines_sources(self):
+        config = DeviceConfig(programming_sigma=0.3, read_noise_sigma=0.4,
+                              process_variation_sigma=0.0, drift_rate=0.0)
+        model = DeviceVariationModel(config, deployment_time=0.0)
+        assert model.effective_sigma() == pytest.approx(0.5)
+
+    def test_effective_sigma_grows_with_deployment_time(self):
+        config = DeviceConfig(drift_rate=0.2)
+        early = DeviceVariationModel(config, deployment_time=0.0).effective_sigma()
+        late = DeviceVariationModel(config, deployment_time=5.0).effective_sigma()
+        assert late > early
+
+    def test_sample_log_factors_statistics(self):
+        config = DeviceConfig(programming_sigma=0.2, read_noise_sigma=0.0,
+                              process_variation_sigma=0.0, drift_rate=0.0)
+        model = DeviceVariationModel(config, deployment_time=0.0, rng=0)
+        factors = model.sample_log_factors((100_000,))
+        assert np.log(factors).std() == pytest.approx(0.2, rel=0.05)
+
+    def test_perturb_conductance_respects_physical_range(self):
+        config = DeviceConfig(stuck_at_rate=0.05)
+        model = DeviceVariationModel(config, rng=0)
+        conductance = np.full((64, 64), (config.g_min + config.g_max) / 2)
+        perturbed = model.perturb_conductance(conductance)
+        assert perturbed.min() >= config.g_min
+        assert perturbed.max() <= config.g_max
+
+
+class TestConductanceMapper:
+    def test_roundtrip_without_quantization_is_exact(self):
+        mapper = ConductanceMapper(DeviceConfig())
+        weights = np.random.default_rng(0).standard_normal((8, 8))
+        g_pos, g_neg = mapper.to_conductance(weights)
+        recovered = mapper.to_weights(g_pos, g_neg)
+        assert np.allclose(recovered, weights, atol=1e-12)
+
+    def test_differential_pair_uses_one_side_per_sign(self):
+        mapper = ConductanceMapper(DeviceConfig())
+        weights = np.array([[1.0, -1.0]])
+        g_pos, g_neg = mapper.to_conductance(weights)
+        config = mapper.config
+        assert g_pos[0, 0] > config.g_min and g_neg[0, 0] == config.g_min
+        assert g_neg[0, 1] > config.g_min and g_pos[0, 1] == config.g_min
+
+    def test_quantization_introduces_bounded_error(self):
+        mapper = ConductanceMapper(DeviceConfig(quantization_bits=4))
+        weights = np.random.default_rng(0).standard_normal((16, 16))
+        error = mapper.roundtrip_error(weights)
+        assert 0.0 < error < 0.5
+
+    def test_to_weights_requires_fit(self):
+        mapper = ConductanceMapper(DeviceConfig())
+        with pytest.raises(RuntimeError):
+            mapper.to_weights(np.ones((2, 2)), np.ones((2, 2)))
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_more_bits_reduce_error_on_random_weights(self, bits):
+        weights = np.random.default_rng(bits).standard_normal((8, 8))
+        coarse = ConductanceMapper(DeviceConfig(quantization_bits=bits)).roundtrip_error(weights)
+        fine = ConductanceMapper(DeviceConfig(quantization_bits=bits + 6)).roundtrip_error(weights)
+        assert fine < coarse
+
+
+class TestCrossbar:
+    def test_requires_2d_weights(self):
+        with pytest.raises(ValueError):
+            Crossbar(np.zeros(4))
+
+    def test_effective_weights_close_to_ideal_for_quiet_device(self):
+        config = DeviceConfig(programming_sigma=0.001, read_noise_sigma=0.0,
+                              process_variation_sigma=0.001, drift_rate=0.0)
+        weights = np.random.default_rng(0).standard_normal((8, 8))
+        crossbar = Crossbar(weights, config, deployment_time=0.0, rng=0)
+        assert crossbar.weight_error() < 0.02
+
+    def test_matvec_approximates_matrix_product(self):
+        config = DeviceConfig(programming_sigma=0.01, read_noise_sigma=0.0,
+                              process_variation_sigma=0.01, drift_rate=0.0)
+        weights = np.random.default_rng(0).standard_normal((6, 10))
+        crossbar = Crossbar(weights, config, deployment_time=0.0, rng=0)
+        voltage = np.random.default_rng(1).standard_normal(10)
+        exact = weights @ voltage
+        analog = crossbar.matvec(voltage, read_noise=False)
+        assert np.allclose(analog, exact, rtol=0.2, atol=0.2)
+
+    def test_noisier_device_has_larger_weight_error(self):
+        weights = np.random.default_rng(0).standard_normal((8, 8))
+        quiet = Crossbar(weights, DeviceConfig(programming_sigma=0.01), rng=0).weight_error()
+        noisy = Crossbar(weights, DeviceConfig(programming_sigma=0.3), rng=0).weight_error()
+        assert noisy > quiet
+
+
+class TestCrossbarArray:
+    def test_tiling_counts(self):
+        weights = np.zeros((100, 70))
+        array = CrossbarArray(weights, tile_rows=32, tile_cols=32, rng=0)
+        assert array.num_tiles == 4 * 3
+
+    def test_effective_weights_shape(self):
+        weights = np.random.default_rng(0).standard_normal((50, 30))
+        array = CrossbarArray(weights, tile_rows=16, tile_cols=16, rng=0)
+        assert array.effective_weights().shape == (50, 30)
+
+    def test_matvec_matches_dense_product(self):
+        config = DeviceConfig(programming_sigma=0.005, read_noise_sigma=0.0,
+                              process_variation_sigma=0.005, drift_rate=0.0)
+        weights = np.random.default_rng(0).standard_normal((20, 33))
+        array = CrossbarArray(weights, tile_rows=8, tile_cols=8, config=config,
+                              deployment_time=0.0, rng=0)
+        voltage = np.random.default_rng(1).standard_normal(33)
+        assert np.allclose(array.matvec(voltage, read_noise=False), weights @ voltage,
+                           rtol=0.2, atol=0.3)
+
+    def test_matvec_rejects_wrong_length(self):
+        array = CrossbarArray(np.zeros((4, 6)), rng=0)
+        with pytest.raises(ValueError):
+            array.matvec(np.zeros(5))
+
+    def test_invalid_tile_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarArray(np.zeros((4, 4)), tile_rows=0)
+
+
+class TestDeployment:
+    def test_reram_linear_matches_clean_linear_approximately(self):
+        linear = nn.Linear(12, 6, rng=0)
+        config = DeviceConfig(programming_sigma=0.01, read_noise_sigma=0.0,
+                              process_variation_sigma=0.01, drift_rate=0.0)
+        hardware = ReRAMLinear(linear, config=config, deployment_time=0.0, rng=0)
+        x = np.random.default_rng(1).standard_normal((4, 12))
+        clean = linear(nn.Tensor(x)).data
+        analog = hardware(nn.Tensor(x)).data
+        assert np.allclose(clean, analog, rtol=0.3, atol=0.3)
+
+    def test_deploy_on_reram_perturbs_every_parameter(self):
+        model = build_mlp(16, depth=2, width=8, num_classes=3, rng=0)
+        before = model.state_dict()
+        report = deploy_on_reram(model, rng=0)
+        assert set(report) == {name for name, _ in model.named_parameters()}
+        changed = any(not np.array_equal(before[name], parameter.data)
+                      for name, parameter in model.named_parameters())
+        assert changed
+        assert all(np.isfinite(value) for value in report.values())

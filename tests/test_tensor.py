@@ -1,0 +1,349 @@
+"""Tests for the autograd Tensor: forward values and analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, unbroadcast
+
+
+def numeric_gradient(func, array, index, eps=1e-6):
+    """Central-difference derivative of ``func`` w.r.t. ``array[index]``."""
+    perturbed = array.copy()
+    perturbed[index] += eps
+    high = func(perturbed)
+    perturbed[index] -= 2 * eps
+    low = func(perturbed)
+    return (high - low) / (2 * eps)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_integer_arrays_preserved(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert np.issubdtype(t.dtype, np.integer)
+
+    def test_requires_grad_flag(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+        assert Tensor(np.ones(3)).requires_grad is False
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor(np.zeros(2)))
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_copy_is_independent(self):
+        t = Tensor(np.ones(3))
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_zeros_ones_randn_constructors(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert np.all(Tensor.ones(2).data == 1.0)
+        assert Tensor.randn(4, 4, rng=np.random.default_rng(0)).shape == (4, 4)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_backward_without_grad_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_nonscalar_requires_grad_argument(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+
+class TestUnbroadcast:
+    def test_no_change_when_shapes_match(self):
+        grad = np.ones((2, 3))
+        assert unbroadcast(grad, (2, 3)).shape == (2, 3)
+
+    def test_sum_over_added_leading_axis(self):
+        grad = np.ones((4, 2, 3))
+        reduced = unbroadcast(grad, (2, 3))
+        assert reduced.shape == (2, 3)
+        assert np.all(reduced == 4.0)
+
+    def test_sum_over_broadcast_axis(self):
+        grad = np.ones((2, 3))
+        reduced = unbroadcast(grad, (1, 3))
+        assert reduced.shape == (1, 3)
+        assert np.all(reduced == 2.0)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_total_is_preserved(self, rows, cols):
+        grad = np.ones((rows, cols))
+        reduced = unbroadcast(grad, (1, cols))
+        assert reduced.sum() == pytest.approx(grad.sum())
+
+
+class TestArithmeticGradients:
+    def test_add_gradients(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_add_broadcast_gradient(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(b.grad, 3.0)
+
+    def test_sub_gradients(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, -1.0)
+
+    def test_rsub_with_scalar(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (5.0 - a).sum().backward()
+        assert np.allclose(a.grad, -1.0)
+
+    def test_mul_gradients(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([5.0, 7.0]), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0, 7.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_div_gradients(self):
+        a = Tensor(np.array([6.0]), requires_grad=True)
+        b = Tensor(np.array([3.0]), requires_grad=True)
+        (a / b).backward()
+        assert a.grad[0] == pytest.approx(1 / 3)
+        assert b.grad[0] == pytest.approx(-6 / 9)
+
+    def test_rtruediv_scalar(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (1.0 / a).backward()
+        assert a.grad[0] == pytest.approx(-0.25)
+
+    def test_pow_gradient(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (a ** 2).backward()
+        assert a.grad[0] == pytest.approx(6.0)
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        with pytest.raises(TypeError):
+            a ** Tensor(np.array([2.0]))
+
+    def test_neg_gradient(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (-a).backward()
+        assert a.grad[0] == pytest.approx(-1.0)
+
+    def test_matmul_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        a_data = rng.standard_normal((3, 4))
+        b_data = rng.standard_normal((4, 2))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a @ b).sum().backward()
+
+        def loss_wrt_a(array):
+            return (array @ b_data).sum()
+
+        numeric = numeric_gradient(loss_wrt_a, a_data, (1, 2))
+        assert a.grad[1, 2] == pytest.approx(numeric, rel=1e-5)
+
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        y = a * 3.0 + a * 4.0
+        y.backward()
+        assert a.grad[0] == pytest.approx(7.0)
+
+    def test_comparison_returns_numpy(self):
+        a = Tensor(np.array([1.0, 5.0]))
+        assert isinstance(a > 2.0, np.ndarray)
+        assert (a > 2.0).tolist() == [False, True]
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize("op, derivative", [
+        ("exp", lambda x: np.exp(x)),
+        ("log", lambda x: 1.0 / x),
+        ("tanh", lambda x: 1.0 - np.tanh(x) ** 2),
+        ("sigmoid", lambda x: (1 / (1 + np.exp(-x))) * (1 - 1 / (1 + np.exp(-x)))),
+        ("abs", lambda x: np.sign(x)),
+    ])
+    def test_unary_gradients(self, op, derivative):
+        data = np.array([0.5, 1.5, 2.5])
+        x = Tensor(data, requires_grad=True)
+        getattr(x, op)().sum().backward()
+        assert np.allclose(x.grad, derivative(data), rtol=1e-6)
+
+    def test_sqrt_gradient(self):
+        x = Tensor(np.array([4.0]), requires_grad=True)
+        x.sqrt().backward()
+        assert x.grad[0] == pytest.approx(0.25)
+
+    def test_clip_gradient_masks_out_of_range(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_gradient_routes_to_larger(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        a.maximum(b).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+
+class TestReductionGradients:
+    def test_sum_gradient_all(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_sum_gradient_axis(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        x.sum(axis=0).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean_gradient(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 1.0 / 8)
+
+    def test_mean_axis_gradient(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_var_value(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert x.var().item() == pytest.approx(np.var([1, 2, 3, 4]))
+
+    def test_max_gradient_goes_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.array([3.0, 3.0]), requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.5, 0.5])
+
+    def test_min_value(self):
+        x = Tensor(np.array([4.0, -2.0, 7.0]))
+        assert x.min().item() == pytest.approx(-2.0)
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_matches_numpy(self, values):
+        x = Tensor(np.array(values))
+        assert x.sum().item() == pytest.approx(np.sum(values), rel=1e-9, abs=1e-9)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+
+    def test_flatten(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.flatten().shape == (2, 12)
+
+    def test_transpose_default_reverses(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert x.transpose().shape == (4, 3, 2)
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.transpose().sum().backward()
+        assert x.grad.shape == (2, 3)
+
+    def test_getitem_gradient_scatters(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        x[1:3].sum().backward()
+        assert np.allclose(x.grad, [0, 1, 1, 0, 0])
+
+    def test_getitem_fancy_index_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[np.array([0, 1]), np.array([1, 2])].sum().backward()
+        assert x.grad[0, 1] == 1.0 and x.grad[1, 2] == 1.0
+        assert x.grad.sum() == 2.0
+
+    def test_pad2d_and_gradient(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        padded = x.pad2d(1)
+        assert padded.shape == (1, 1, 4, 4)
+        padded.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_concatenate_values_and_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((3, 2)), requires_grad=True)
+        cat = Tensor.concatenate([a, b], axis=0)
+        assert cat.shape == (5, 2)
+        cat.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_stack_values_and_gradient(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        stacked = Tensor.stack([a, b], axis=0)
+        assert stacked.shape == (2, 3)
+        stacked.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+
+class TestDeepGraphs:
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 0.001
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a + b).backward()
+        assert x.grad[0] == pytest.approx(7.0)

@@ -1,0 +1,74 @@
+"""Tests for rng management, serialization and experiment configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_mlp
+from repro.utils import get_rng, seed_everything, spawn_rng, save_state, load_state, ExperimentConfig
+
+
+class TestRng:
+    def test_seed_everything_is_reproducible(self):
+        seed_everything(7)
+        first = get_rng().random(4)
+        seed_everything(7)
+        second = get_rng().random(4)
+        assert np.array_equal(first, second)
+
+    def test_get_rng_from_int(self):
+        assert np.array_equal(get_rng(3).random(3), np.random.default_rng(3).random(3))
+
+    def test_get_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert get_rng(generator) is generator
+
+    def test_spawn_rng_is_independent(self):
+        parent = np.random.default_rng(0)
+        child = spawn_rng(parent)
+        assert not np.array_equal(parent.random(3), child.random(3))
+
+
+class TestSerialization:
+    def test_state_roundtrip(self, tmp_path):
+        model = build_mlp(16, depth=3, width=8, num_classes=4, rng=0)
+        path = tmp_path / "model.npz"
+        save_state(model.state_dict(), path)
+        restored = load_state(path)
+        for key, value in model.state_dict().items():
+            assert np.array_equal(restored[key], value)
+
+    def test_load_adds_npz_suffix_if_missing(self, tmp_path):
+        state = {"weights": np.arange(5.0)}
+        save_state(state, tmp_path / "checkpoint")
+        restored = load_state(tmp_path / "checkpoint")
+        assert np.array_equal(restored["weights"], np.arange(5.0))
+
+    def test_loaded_state_restores_model(self, tmp_path):
+        model = build_mlp(16, depth=2, width=8, num_classes=4, rng=0)
+        save_state(model.state_dict(), tmp_path / "m.npz")
+        clone = build_mlp(16, depth=2, width=8, num_classes=4, rng=99)
+        clone.load_state_dict(load_state(tmp_path / "m.npz"))
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+
+
+class TestExperimentConfig:
+    def test_defaults_are_sane(self):
+        config = ExperimentConfig()
+        assert config.epochs > 0
+        assert 0.0 < config.learning_rate < 1.0
+        assert len(config.sigma_grid) >= 2
+
+    def test_fast_config_is_smaller(self):
+        fast = ExperimentConfig.fast()
+        default = ExperimentConfig()
+        assert fast.train_samples < default.train_samples
+        assert fast.epochs <= default.epochs
+
+    def test_to_dict_round_trips_fields(self):
+        config = ExperimentConfig(epochs=7, extra={"gamma": 0.5})
+        as_dict = config.to_dict()
+        assert as_dict["epochs"] == 7
+        assert as_dict["extra"]["gamma"] == 0.5
