@@ -15,7 +15,21 @@ def run_panel(benchmark, panel: str, config, seed: int = 0, methods=None) -> dic
     print_curves(f"Figure 3 panel {panel}", result["curves"])
     aucs = {curve.label: round(curve_auc(curve), 3) for curve in result["curves"]}
     print("AUC per method:", aucs)
+    print_sweep_stats(result)
     return result
+
+
+def print_sweep_stats(result: dict) -> None:
+    """Print the DriftSweepEngine measurement cost recorded for a panel."""
+    reports = result.get("sweep_reports", [])
+    if not reports:
+        return
+    evaluations = sum(report["n_evaluations"] for report in reports)
+    hits = sum(report["cache_hits"] for report in reports)
+    seconds = sum(report["elapsed_seconds"] for report in reports)
+    backend = reports[0]["backend"]
+    print(f"sweep engine [{backend}]: {evaluations} evaluations "
+          f"({hits} cache hits) in {seconds:.2f}s over {len(reports)} sweeps")
 
 
 def assert_bayesft_competitive(result, margin: float = 0.08) -> None:

@@ -17,7 +17,13 @@ __all__ = ["BayesianOptimizer", "OptimizationTrace"]
 
 @dataclass
 class OptimizationTrace:
-    """Record of an optimisation run: every trial point and its objective value."""
+    """Record of an optimisation run: every trial point and its objective value.
+
+    Non-finite objective values (NaN/inf from a diverged training run) are
+    recorded — they are real trials and the surrogate must not re-suggest
+    those points blindly — but they are excluded from every ``best_*``
+    accessor, so a single crashed trial can never be reported as the winner.
+    """
 
     points: list = field(default_factory=list)
     values: list = field(default_factory=list)
@@ -26,9 +32,18 @@ class OptimizationTrace:
         self.points.append(np.asarray(point, dtype=np.float64).copy())
         self.values.append(float(value))
 
+    def finite_indices(self) -> np.ndarray:
+        """Indices of trials whose objective came back finite."""
+        return np.flatnonzero(np.isfinite(np.asarray(self.values, dtype=np.float64)))
+
     @property
     def best_index(self) -> int:
-        return int(np.argmax(self.values))
+        finite = self.finite_indices()
+        if len(finite) == 0:
+            raise ValueError("no finite objective values observed yet "
+                             "(every trial so far returned NaN/inf)")
+        values = np.asarray(self.values, dtype=np.float64)
+        return int(finite[np.argmax(values[finite])])
 
     @property
     def best_point(self) -> np.ndarray:
@@ -39,8 +54,13 @@ class OptimizationTrace:
         return self.values[self.best_index]
 
     def running_best(self) -> np.ndarray:
-        """Cumulative best objective value after each trial (for regret plots)."""
-        return np.maximum.accumulate(np.asarray(self.values))
+        """Cumulative best *finite* objective after each trial (regret plots).
+
+        Trials before the first finite observation are ``-inf``.
+        """
+        values = np.asarray(self.values, dtype=np.float64)
+        values = np.where(np.isfinite(values), values, -np.inf)
+        return np.maximum.accumulate(values)
 
     def __len__(self) -> int:
         return len(self.values)
@@ -90,11 +110,21 @@ class BayesianOptimizer:
         return self.bounds[:, 0] + span * self.rng.random((count, self.dim))
 
     def suggest(self) -> np.ndarray:
-        """Propose the next trial point."""
-        if len(self.trace) < self.n_initial:
+        """Propose the next trial point.
+
+        Only finite observations feed the surrogate: a NaN objective (e.g. a
+        diverged training run, mirroring wandb's ``bayes_search`` NaN
+        handling) would otherwise poison the GP posterior and make
+        ``argmax`` pick garbage forever after.  Until ``n_initial`` finite
+        observations exist, suggestions stay uniformly random.
+        """
+        finite = self.trace.finite_indices()
+        if len(finite) < self.n_initial:
             return self._sample_uniform(1)[0]
         gp = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
-        gp.fit(np.stack(self.trace.points), np.asarray(self.trace.values))
+        points = np.stack(self.trace.points)[finite]
+        values = np.asarray(self.trace.values, dtype=np.float64)[finite]
+        gp.fit(points, values)
         candidates = self._sample_uniform(self.n_candidates)
         # Always include the best point found so far plus small perturbations
         # of it, so exploitation can refine promising regions.

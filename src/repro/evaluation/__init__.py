@@ -3,11 +3,13 @@
 from .robustness import (
     accuracy, accuracy_under_drift, robustness_curve, RobustnessCurve,
 )
+from .sweep import DriftSweepEngine, SweepReport, classification_accuracy
 from .detection_metrics import average_precision, mean_average_precision, map_under_drift
 from .statistics import curve_auc, sigma_at_accuracy, compare_curves, mean_confidence_interval
 
 __all__ = [
     "accuracy", "accuracy_under_drift", "robustness_curve", "RobustnessCurve",
+    "DriftSweepEngine", "SweepReport", "classification_accuracy",
     "average_precision", "mean_average_precision", "map_under_drift",
     "curve_auc", "sigma_at_accuracy", "compare_curves", "mean_confidence_interval",
 ]

@@ -12,10 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..fault.drift import LogNormalDrift
-from ..fault.injector import fault_injection
 from ..models.detection import Detection, box_iou
-from ..utils.rng import get_rng
 
 __all__ = ["average_precision", "mean_average_precision", "map_under_drift"]
 
@@ -83,16 +80,21 @@ def mean_average_precision(detector, samples, iou_threshold: float = 0.5,
 
 
 def map_under_drift(detector, samples, sigmas: Sequence[float],
-                    trials: int = 3, rng=None, iou_threshold: float = 0.5) -> dict:
-    """mAP-vs-σ sweep (the Fig. 3(j) measurement)."""
-    rng = get_rng(rng)
-    results = {"sigmas": list(sigmas), "means": [], "stds": []}
-    for sigma in sigmas:
-        scores = []
-        for _ in range(trials):
-            with fault_injection(detector, LogNormalDrift(sigma), rng=rng):
-                scores.append(mean_average_precision(detector, samples,
-                                                     iou_threshold=iou_threshold))
-        results["means"].append(float(np.mean(scores)))
-        results["stds"].append(float(np.std(scores)))
-    return results
+                    trials: int = 3, rng=None, iou_threshold: float = 0.5,
+                    workers: int = 0) -> dict:
+    """mAP-vs-σ sweep (the Fig. 3(j) measurement).
+
+    Thin wrapper over :class:`~repro.evaluation.sweep.DriftSweepEngine` with
+    mAP as the per-trial evaluation function.
+    """
+    import functools
+
+    from .sweep import DriftSweepEngine
+
+    engine = DriftSweepEngine(
+        detector, samples, trials=trials, workers=workers, rng=rng,
+        evaluate_fn=functools.partial(mean_average_precision,
+                                      iou_threshold=iou_threshold))
+    report = engine.run(sigmas)
+    return {"sigmas": list(report.sigmas), "means": list(report.means),
+            "stds": list(report.stds)}

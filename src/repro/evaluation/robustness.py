@@ -3,7 +3,10 @@
 These functions implement the measurement protocol behind every curve in
 Figures 2 and 3 of the paper: for each σ on a grid, sample several drifted
 copies of the trained weights (Eq. 1), measure test accuracy with each copy,
-and average.
+and average.  :func:`accuracy_under_drift` and :func:`robustness_curve` are
+thin wrappers over :class:`~repro.evaluation.sweep.DriftSweepEngine`, which
+pre-draws all drift samples vectorized and can evaluate trials in parallel
+worker processes.
 """
 
 from __future__ import annotations
@@ -16,9 +19,6 @@ import numpy as np
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
 from ..data.loader import Dataset, DataLoader
-from ..fault.drift import DriftModel, LogNormalDrift
-from ..fault.injector import fault_injection
-from ..utils.rng import get_rng
 
 __all__ = ["accuracy", "accuracy_under_drift", "robustness_curve", "RobustnessCurve"]
 
@@ -37,22 +37,20 @@ def accuracy(model: Module, dataset: Dataset, batch_size: int = 256) -> float:
 
 def accuracy_under_drift(model: Module, dataset: Dataset, sigma: float,
                          trials: int = 5, drift_factory=None, rng=None,
-                         batch_size: int = 256) -> tuple[float, float]:
+                         batch_size: int = 256, workers: int = 0) -> tuple[float, float]:
     """Mean and std of accuracy over ``trials`` independent drift samples.
 
-    ``drift_factory`` maps σ to a :class:`DriftModel` (defaults to the
-    paper's log-normal drift).
+    ``drift_factory`` maps σ to a :class:`~repro.fault.drift.DriftModel`
+    (defaults to the paper's log-normal drift).  Passing a ``DriftModel``
+    *instance* raises: its fixed parameters would silently override ``sigma``
+    and every point of a σ-sweep would measure the same drift level.
     """
-    if trials < 1:
-        raise ValueError("trials must be at least 1")
-    rng = get_rng(rng)
-    drift_factory = drift_factory or LogNormalDrift
-    scores = []
-    for _ in range(trials):
-        drift = drift_factory(sigma) if not isinstance(drift_factory, DriftModel) else drift_factory
-        with fault_injection(model, drift, rng=rng):
-            scores.append(accuracy(model, dataset, batch_size=batch_size))
-    return float(np.mean(scores)), float(np.std(scores))
+    from .sweep import DriftSweepEngine
+    engine = DriftSweepEngine(model, dataset, trials=trials,
+                              drift_factory=drift_factory, batch_size=batch_size,
+                              workers=workers, rng=rng)
+    report = engine.run([sigma])
+    return report.means[0], report.stds[0]
 
 
 @dataclass
@@ -75,6 +73,10 @@ class RobustnessCurve:
 
     def accuracy_at(self, sigma: float) -> float:
         """Accuracy at the grid point closest to ``sigma``."""
+        if not self.sigmas:
+            raise ValueError(
+                f"RobustnessCurve {self.label!r} is empty: no σ grid points "
+                "have been added yet, so there is no accuracy to look up")
         index = int(np.argmin(np.abs(np.asarray(self.sigmas) - sigma)))
         return self.means[index]
 
@@ -85,13 +87,16 @@ class RobustnessCurve:
 def robustness_curve(model: Module, dataset: Dataset,
                      sigmas: Sequence[float] = (0.0, 0.3, 0.6, 0.9, 1.2, 1.5),
                      trials: int = 5, label: str = "", drift_factory=None,
-                     rng=None, batch_size: int = 256) -> RobustnessCurve:
-    """Sweep σ over a grid and record mean/std accuracy at each point."""
-    rng = get_rng(rng)
-    curve = RobustnessCurve(label=label or type(model).__name__)
-    for sigma in sigmas:
-        mean, std = accuracy_under_drift(model, dataset, sigma, trials=trials,
-                                         drift_factory=drift_factory, rng=rng,
-                                         batch_size=batch_size)
-        curve.add(sigma, mean, std)
-    return curve
+                     rng=None, batch_size: int = 256,
+                     workers: int = 0) -> RobustnessCurve:
+    """Sweep σ over a grid and record mean/std accuracy at each point.
+
+    Thin wrapper over :class:`~repro.evaluation.sweep.DriftSweepEngine`;
+    pass ``workers >= 2`` to evaluate trials in parallel processes (seeded
+    results are bit-identical to the serial path).
+    """
+    from .sweep import DriftSweepEngine
+    engine = DriftSweepEngine(model, dataset, trials=trials,
+                              drift_factory=drift_factory, batch_size=batch_size,
+                              workers=workers, rng=rng)
+    return engine.run(sigmas, label=label or type(model).__name__).curve()

@@ -1,0 +1,317 @@
+"""Vectorized Monte-Carlo drift-sweep engine.
+
+Every curve in Figures 2–4 of the paper is the same measurement: for each σ
+on a grid, evaluate the model under ``trials`` independently drifted weight
+copies and average.  The naive loop re-snapshots the weights, re-draws the
+drift and re-runs the full test set once per (σ, trial) pair with zero reuse.
+:class:`DriftSweepEngine` is the production-scale replacement:
+
+1. **Vectorized sampling** — all ``trials`` drift copies per σ are pre-drawn
+   with one :meth:`~repro.fault.drift.DriftModel.sample_batch` RNG call per
+   parameter (via :meth:`FaultInjector.draw_trials`), in the main process.
+   Because sampling is decoupled from evaluation, results are bit-identical
+   regardless of how evaluation is scheduled.
+2. **Single snapshot** — the clean weights are snapshotted once per sweep
+   (:meth:`FaultInjector.multi_trial`), not once per trial, and restored even
+   if an evaluation raises mid-sweep.
+3. **Parallel evaluation** — trials run under ``concurrent.futures``
+   process-level parallelism (``workers`` configurable, serial fallback on
+   any pool failure), plus an inference cache keyed on the drifted weight
+   bytes so bit-identical trials (every σ=0 trial, for instance) are
+   evaluated exactly once.
+4. **Structured results** — the sweep streams into the existing
+   :class:`~repro.evaluation.robustness.RobustnessCurve` and returns a
+   JSON-serializable :class:`SweepReport` with timing statistics.
+
+The legacy :func:`~repro.evaluation.robustness.robustness_curve` /
+:func:`~repro.evaluation.detection_metrics.map_under_drift` entry points are
+thin wrappers over this engine.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import multiprocessing
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..fault.drift import DriftModel, LogNormalDrift
+from ..fault.injector import FaultInjector
+from ..fault.policy import LayerFaultPolicy
+from ..utils.rng import get_rng
+from .robustness import RobustnessCurve, accuracy
+
+__all__ = ["DriftSweepEngine", "SweepReport", "classification_accuracy"]
+
+
+def classification_accuracy(model, data, batch_size: int = 256) -> float:
+    """Default evaluation function: clean classification accuracy."""
+    return accuracy(model, data, batch_size=batch_size)
+
+
+# --------------------------------------------------------------------------- #
+# Worker-process plumbing.  The model and dataset are shipped once per worker
+# (via the pool initializer); each task then carries only the drifted
+# parameter arrays for one trial.
+# --------------------------------------------------------------------------- #
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(model, data, evaluate_fn) -> None:
+    # The model arrives clean (the pool is created before any trial is
+    # applied), so the worker-local injector snapshots the same clean state
+    # as the main process and apply_trial enforces the identical restore
+    # invariant: parameters absent from a trial reset to the snapshot, so a
+    # worker that just ran a trial drifting a different parameter subset
+    # (per-σ policies) cannot leak stale weights into the next one.
+    injector = FaultInjector(model, LogNormalDrift(0.0))
+    injector.snapshot()
+    _WORKER_STATE["model"] = model
+    _WORKER_STATE["injector"] = injector
+    _WORKER_STATE["data"] = data
+    _WORKER_STATE["evaluate_fn"] = evaluate_fn
+
+
+def _run_trial(digest: str, params: dict) -> tuple[str, float, float]:
+    _WORKER_STATE["injector"].apply_trial(params)
+    start = time.perf_counter()
+    score = float(_WORKER_STATE["evaluate_fn"](_WORKER_STATE["model"],
+                                               _WORKER_STATE["data"]))
+    return digest, score, time.perf_counter() - start
+
+
+def _weights_digest(params: dict) -> str:
+    """Content hash of one trial's drifted arrays (the inference-cache key)."""
+    h = hashlib.blake2b(digest_size=16)
+    for name in sorted(params):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(params[name]).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class SweepReport:
+    """JSON-serializable record of one drift sweep, with timing statistics."""
+
+    label: str
+    sigmas: list = field(default_factory=list)
+    means: list = field(default_factory=list)
+    stds: list = field(default_factory=list)
+    trial_scores: list = field(default_factory=list)  # per-σ list of per-trial scores
+    trials: int = 0
+    workers: int = 1          # worker processes actually used (1 = serial)
+    backend: str = "serial"   # "serial" or "process"
+    fallback_reason: str = ""  # why a requested parallel run degraded to serial
+    n_evaluations: int = 0    # model evaluations actually run (after caching)
+    cache_hits: int = 0       # trials answered from the inference cache
+    elapsed_seconds: float = 0.0
+    per_sigma_seconds: list = field(default_factory=list)  # summed eval time per σ
+
+    def curve(self) -> RobustnessCurve:
+        """The sweep as the classic accuracy-vs-σ curve (Fig. 2/3 series)."""
+        return RobustnessCurve(label=self.label, sigmas=list(self.sigmas),
+                               means=list(self.means), stds=list(self.stds))
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label, "sigmas": list(self.sigmas),
+            "means": list(self.means), "stds": list(self.stds),
+            "trial_scores": [list(scores) for scores in self.trial_scores],
+            "trials": self.trials, "workers": self.workers,
+            "backend": self.backend, "fallback_reason": self.fallback_reason,
+            "n_evaluations": self.n_evaluations,
+            "cache_hits": self.cache_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+            "per_sigma_seconds": list(self.per_sigma_seconds),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepReport":
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        return cls.from_dict(json.loads(text))
+
+    def __len__(self) -> int:
+        return len(self.sigmas)
+
+
+class DriftSweepEngine:
+    """Batched, cached, optionally parallel accuracy-vs-σ measurement.
+
+    Parameters
+    ----------
+    model:
+        Trained network to evaluate (its weights are snapshotted once per
+        sweep and always restored).
+    data:
+        Whatever ``evaluate_fn`` consumes — a classification
+        :class:`~repro.data.loader.Dataset` for the default accuracy
+        evaluation, a list of detection samples for mAP sweeps, …
+    trials:
+        Monte-Carlo drift trials per σ grid point.
+    drift_factory:
+        Callable mapping σ to a :class:`DriftModel` (or a
+        :class:`LayerFaultPolicy`); defaults to the paper's
+        :class:`LogNormalDrift`.  Passing a ``DriftModel`` *instance* is an
+        error: its fixed parameters would silently override every σ.
+    workers:
+        ``0``/``1`` evaluates serially; ``n >= 2`` spreads trials over ``n``
+        worker processes.  Seeded results are bit-identical either way
+        because all randomness is pre-drawn in the main process.
+    evaluate_fn:
+        ``f(model, data) -> float`` run per trial; must be picklable for the
+        process backend.  Defaults to classification accuracy at
+        ``batch_size``.
+    cache:
+        Skip re-evaluating trials whose drifted weights are bit-identical to
+        an already-evaluated trial (every σ=0 trial hits this).
+    """
+
+    def __init__(self, model, data, *, trials: int = 5, drift_factory=None,
+                 batch_size: int = 256, workers: int = 0, rng=None,
+                 skip: Sequence[str] = (), cache: bool = True,
+                 evaluate_fn: Callable | None = None):
+        if trials < 1:
+            raise ValueError("trials must be at least 1")
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if isinstance(drift_factory, DriftModel):
+            raise TypeError(
+                "drift_factory must be a callable mapping sigma to a DriftModel "
+                f"(e.g. LogNormalDrift, not LogNormalDrift(...)); got the instance "
+                f"{drift_factory!r}, whose fixed parameters would silently override "
+                "every sigma in the sweep")
+        self.model = model
+        self.data = data
+        self.trials = int(trials)
+        self.drift_factory = drift_factory
+        self.batch_size = int(batch_size)
+        self.workers = int(workers)
+        self.rng = get_rng(rng)
+        self.skip = tuple(skip)
+        self.cache = bool(cache)
+        self.evaluate_fn = evaluate_fn or functools.partial(
+            classification_accuracy, batch_size=self.batch_size)
+
+    # ------------------------------------------------------------------ #
+    def _drift_for(self, sigma: float) -> DriftModel | LayerFaultPolicy:
+        if self.drift_factory is None:
+            return LogNormalDrift(float(sigma))
+        return self.drift_factory(sigma)
+
+    def run(self, sigmas: Sequence[float], label: str = "") -> SweepReport:
+        """Sweep σ over ``sigmas`` and return the full report.
+
+        ``report.curve()`` gives the plot-ready :class:`RobustnessCurve`.
+        """
+        start = time.perf_counter()
+        sigmas = [float(sigma) for sigma in sigmas]
+        label = label or type(self.model).__name__
+        injector = FaultInjector(self.model, LogNormalDrift(0.0),
+                                 skip=self.skip, rng=self.rng)
+
+        with injector.multi_trial():
+            # 1. Pre-draw every trial's weights: one vectorized RNG call per
+            #    (σ, parameter).  Consuming the stream here, before any
+            #    evaluation is scheduled, is what makes the sweep
+            #    deterministic for any worker count.
+            trial_params: dict[tuple[int, int], dict] = {}
+            for sigma_index, sigma in enumerate(sigmas):
+                batch = injector.draw_trials(self.trials, self._drift_for(sigma))
+                for trial_index in range(self.trials):
+                    trial_params[(sigma_index, trial_index)] = {
+                        name: arrays[trial_index] for name, arrays in batch.items()}
+
+            # 2. Deduplicate bit-identical trials (the inference cache).
+            digest_of: dict[tuple[int, int], str] = {}
+            pending: dict[str, tuple[int, int]] = {}
+            cache_hits = 0
+            for key in sorted(trial_params):
+                digest = (_weights_digest(trial_params[key]) if self.cache
+                          else f"trial-{key[0]}-{key[1]}")
+                digest_of[key] = digest
+                if digest in pending:
+                    cache_hits += 1
+                else:
+                    pending[digest] = key
+
+            # 3. Evaluate each unique weight set, in parallel when asked.
+            scores: dict[str, float] = {}
+            eval_seconds: dict[str, float] = {}
+            backend = "serial"
+            workers_used = 1
+            fallback_reason = ""
+            if self.workers >= 2 and len(pending) > 1:
+                backend, workers_used, fallback_reason = self._run_parallel(
+                    pending, trial_params, scores, eval_seconds)
+            for digest, key in pending.items():
+                if digest in scores:
+                    continue
+                injector.apply_trial(trial_params[key])
+                t0 = time.perf_counter()
+                scores[digest] = float(self.evaluate_fn(self.model, self.data))
+                eval_seconds[digest] = time.perf_counter() - t0
+
+        # 4. Stream per-trial scores into the aggregate curve/report.
+        report = SweepReport(label=label, trials=self.trials,
+                             workers=workers_used, backend=backend,
+                             fallback_reason=fallback_reason,
+                             n_evaluations=len(pending), cache_hits=cache_hits)
+        for sigma_index, sigma in enumerate(sigmas):
+            per_trial = [scores[digest_of[(sigma_index, trial_index)]]
+                         for trial_index in range(self.trials)]
+            seconds = sum(eval_seconds.get(digest, 0.0)
+                          for digest, key in pending.items() if key[0] == sigma_index)
+            report.sigmas.append(sigma)
+            report.means.append(float(np.mean(per_trial)))
+            report.stds.append(float(np.std(per_trial)))
+            report.trial_scores.append(per_trial)
+            report.per_sigma_seconds.append(round(seconds, 6))
+        report.elapsed_seconds = round(time.perf_counter() - start, 6)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _run_parallel(self, pending, trial_params, scores, eval_seconds
+                      ) -> tuple[str, int, str]:
+        """Evaluate ``pending`` trials in worker processes.
+
+        Fills ``scores``/``eval_seconds`` in place; any failure (pool setup,
+        pickling, a dead worker) leaves the remaining trials for the serial
+        fallback loop in :meth:`run` and is surfaced through a warning plus
+        ``SweepReport.fallback_reason``.  Returns ``(backend, workers_used,
+        fallback_reason)``.
+        """
+        workers = min(self.workers, len(pending))
+        try:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None)
+            with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(self.model, self.data, self.evaluate_fn)) as pool:
+                futures = [pool.submit(_run_trial, digest, trial_params[key])
+                           for digest, key in pending.items()]
+                for future in futures:
+                    digest, score, seconds = future.result()
+                    scores[digest] = score
+                    eval_seconds[digest] = seconds
+            return "process", workers, ""
+        except Exception as error:
+            scores.clear()
+            eval_seconds.clear()
+            reason = f"{type(error).__name__}: {error}"
+            warnings.warn(f"parallel sweep fell back to serial evaluation "
+                          f"({reason})", RuntimeWarning, stacklevel=3)
+            return "serial", 1, reason

@@ -18,7 +18,8 @@ import numpy as np
 
 from ..data.mnist import SyntheticMNIST
 from ..data.loader import train_test_split
-from ..evaluation.robustness import RobustnessCurve, robustness_curve
+from ..evaluation.robustness import RobustnessCurve
+from ..evaluation.sweep import DriftSweepEngine
 from ..models.mlp import MLP, build_mlp
 from ..models.lenet import LeNet5
 from ..nn.layers import GroupNorm, InstanceNorm2d
@@ -45,10 +46,13 @@ def _train_and_sweep(model, train_set, test_set, label, config, rng) -> Robustne
                      momentum=config.momentum, rng=rng)
     # Common random numbers: every variant is evaluated with the same drift
     # samples, so the comparison between curves is paired and low-variance.
+    # (The engine pre-draws all samples, so this also holds for any worker
+    # count — see config.extra["sweep_workers"].)
     evaluation_rng = np.random.default_rng(config.seed + 99991)
-    return robustness_curve(model, test_set, sigmas=config.sigma_grid,
-                            trials=config.drift_trials, label=label,
-                            rng=evaluation_rng)
+    engine = DriftSweepEngine(model, test_set, trials=config.drift_trials,
+                              workers=int(config.extra.get("sweep_workers", 0)),
+                              rng=evaluation_rng)
+    return engine.run(config.sigma_grid, label=label).curve()
 
 
 def run_dropout_ablation(config: ExperimentConfig | None = None, seed: int = 0) -> list[RobustnessCurve]:

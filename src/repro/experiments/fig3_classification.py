@@ -16,7 +16,8 @@ from ..data.cifar import SyntheticCIFAR
 from ..data.gtsrb import SyntheticGTSRB
 from ..data.mnist import SyntheticMNIST
 from ..data.loader import Dataset, train_test_split
-from ..evaluation.robustness import RobustnessCurve, robustness_curve
+from ..evaluation.robustness import RobustnessCurve
+from ..evaluation.sweep import DriftSweepEngine, SweepReport
 from ..models.registry import build_model
 from ..utils.config import ExperimentConfig
 from ..utils.rng import get_rng
@@ -93,6 +94,7 @@ def run_classification_comparison(panel: str, config: ExperimentConfig | None = 
     model_kwargs = _model_kwargs(model_name, config)
 
     curves: list[RobustnessCurve] = []
+    reports: list[SweepReport] = []
     for method_name in methods:
         model = build_model(model_name, num_classes=num_classes,
                             in_channels=in_channels, image_size=16,
@@ -119,11 +121,15 @@ def run_classification_comparison(panel: str, config: ExperimentConfig | None = 
             model = method.apply(model, train_set)
             label = method.name
         # Common random numbers across methods: every method's sweep sees the
-        # same drift samples, making the Figure-3 comparison paired.
+        # same drift samples, making the Figure-3 comparison paired.  The
+        # engine pre-draws all samples in the main process, so the pairing is
+        # preserved for any sweep_workers setting.
         evaluation_rng = np.random.default_rng(seed + 77771)
-        curves.append(robustness_curve(model, test_set, sigmas=config.sigma_grid,
-                                       trials=config.drift_trials, label=label,
-                                       rng=evaluation_rng))
+        engine = DriftSweepEngine(model, test_set, trials=config.drift_trials,
+                                  workers=int(config.extra.get("sweep_workers", 0)),
+                                  rng=evaluation_rng)
+        reports.append(engine.run(config.sigma_grid, label=label))
+        curves.append(reports[-1].curve())
 
     return {
         "panel": panel,
@@ -131,6 +137,7 @@ def run_classification_comparison(panel: str, config: ExperimentConfig | None = 
         "dataset": dataset_name,
         "sigmas": list(config.sigma_grid),
         "curves": curves,
+        "sweep_reports": [report.as_dict() for report in reports],
         "summary": {curve.label: {"clean": curve.means[0],
                                   "worst": float(np.min(curve.means))}
                     for curve in curves},

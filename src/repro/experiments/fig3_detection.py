@@ -14,8 +14,7 @@ from ..bayesopt.optimizer import BayesianOptimizer
 from ..core.search_space import DropoutSearchSpace
 from ..data.detection import SyntheticPedestrians
 from ..evaluation.detection_metrics import map_under_drift, mean_average_precision
-from ..fault.drift import LogNormalDrift
-from ..fault.injector import fault_injection
+from ..evaluation.sweep import DriftSweepEngine
 from ..models.detection import TinyDetector
 from ..training.trainer import train_detector
 from ..utils.config import ExperimentConfig
@@ -25,12 +24,15 @@ __all__ = ["run_detection_comparison"]
 
 
 def _drifted_map_objective(detector, samples, sigma, mc_samples, rng) -> float:
-    """Monte-Carlo mAP under drift (the detection analogue of Eq. 4)."""
-    scores = []
-    for _ in range(mc_samples):
-        with fault_injection(detector, LogNormalDrift(sigma), rng=rng):
-            scores.append(mean_average_precision(detector, samples))
-    return float(np.mean(scores))
+    """Monte-Carlo mAP under drift (the detection analogue of Eq. 4).
+
+    Always serial: the objective runs once per BayesOpt trial with only
+    ``mc_samples`` (1-2) evaluations, so per-call worker-pool startup would
+    dwarf the work; the test-set sweeps below are where workers pay off.
+    """
+    engine = DriftSweepEngine(detector, samples, trials=mc_samples, rng=rng,
+                              evaluate_fn=mean_average_precision)
+    return engine.run([sigma]).means[0]
 
 
 def run_detection_comparison(config: ExperimentConfig | None = None, seed: int = 0,
@@ -43,6 +45,7 @@ def run_detection_comparison(config: ExperimentConfig | None = None, seed: int =
                                    max_pedestrians=2, rng=rng)
     train_samples, test_samples = dataset.split(test_fraction=0.3, rng=rng)
     detector_epochs = int(config.extra.get("detector_epochs", max(4, config.epochs * 2)))
+    sweep_workers = int(config.extra.get("sweep_workers", 0))
 
     # ------------------------------------------------------------------ #
     # ERM detector: plain training, no drift-awareness.
@@ -50,7 +53,8 @@ def run_detection_comparison(config: ExperimentConfig | None = None, seed: int =
     train_detector(erm_detector, train_samples, epochs=detector_epochs,
                    learning_rate=0.01, rng=rng)
     erm_curve = map_under_drift(erm_detector, test_samples, sigmas,
-                                trials=config.drift_trials, rng=rng)
+                                trials=config.drift_trials, rng=rng,
+                                workers=sweep_workers)
     erm_curve["label"] = "ERM"
 
     # ------------------------------------------------------------------ #
@@ -78,7 +82,8 @@ def run_detection_comparison(config: ExperimentConfig | None = None, seed: int =
     bayesft_detector.load_state_dict(best_state)
     space.apply(best_alpha)
     bayesft_curve = map_under_drift(bayesft_detector, test_samples, sigmas,
-                                    trials=config.drift_trials, rng=rng)
+                                    trials=config.drift_trials, rng=rng,
+                                    workers=sweep_workers)
     bayesft_curve["label"] = "BayesFT"
 
     return {

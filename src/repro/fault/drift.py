@@ -25,12 +25,39 @@ class DriftModel:
         """Return a drifted copy of ``weights`` (the input is never modified)."""
         raise NotImplementedError
 
+    def sample_batch(self, weights: np.ndarray, n: int,
+                     rng: np.random.Generator | None = None) -> np.ndarray:
+        """Return ``n`` independent drifted copies of ``weights`` at once.
+
+        The result has shape ``(n,) + weights.shape``; ``result[i]`` is one
+        Monte-Carlo trial.  Validation and normalisation happen here;
+        subclasses override :meth:`_sample_batch_impl` with a single
+        vectorized RNG call.  Models whose transformation is not elementwise
+        (e.g. :class:`BitFlipFault`, whose quantisation range depends on the
+        whole array) keep the default implementation, which stacks ``n``
+        :meth:`perturb` calls and therefore draws the identical random
+        stream.
+        """
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        return self._sample_batch_impl(np.asarray(weights, dtype=np.float64),
+                                       int(n), get_rng(rng))
+
+    def _sample_batch_impl(self, weights: np.ndarray, n: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        return np.stack([self.perturb(weights, rng) for _ in range(n)])
+
     def __call__(self, weights: np.ndarray, rng=None) -> np.ndarray:
         return self.perturb(np.asarray(weights, dtype=np.float64), get_rng(rng))
 
     def expected_relative_error(self) -> float:
         """Analytic (or approximate) expected relative weight error, if known."""
         raise NotImplementedError(f"{type(self).__name__} has no closed-form error")
+
+    @staticmethod
+    def _clean_batch(weights: np.ndarray, n: int) -> np.ndarray:
+        """``n`` stacked copies of the clean weights (the zero-drift batch)."""
+        return np.broadcast_to(weights, (n,) + weights.shape).copy()
 
 
 class LogNormalDrift(DriftModel):
@@ -50,6 +77,13 @@ class LogNormalDrift(DriftModel):
             return weights.copy()
         lam = rng.normal(0.0, self.sigma, size=weights.shape)
         return weights * np.exp(lam)
+
+    def _sample_batch_impl(self, weights: np.ndarray, n: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0.0:
+            return self._clean_batch(weights, n)
+        lam = rng.normal(0.0, self.sigma, size=(n,) + weights.shape)
+        return weights[None] * np.exp(lam)
 
     def expected_relative_error(self) -> float:
         """E|exp(λ) - 1| for λ ~ N(0, σ²) via the folded-lognormal mean."""
@@ -84,6 +118,14 @@ class GaussianDrift(DriftModel):
         scale = np.abs(weights) if self.relative else 1.0
         return weights + scale * noise
 
+    def _sample_batch_impl(self, weights: np.ndarray, n: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0.0:
+            return self._clean_batch(weights, n)
+        noise = rng.normal(0.0, self.sigma, size=(n,) + weights.shape)
+        scale = np.abs(weights)[None] if self.relative else 1.0
+        return weights[None] + scale * noise
+
     def __repr__(self) -> str:
         return f"GaussianDrift(sigma={self.sigma}, relative={self.relative})"
 
@@ -101,6 +143,14 @@ class UniformDrift(DriftModel):
             return weights.copy()
         factor = 1.0 + rng.uniform(-self.amplitude, self.amplitude, size=weights.shape)
         return weights * factor
+
+    def _sample_batch_impl(self, weights: np.ndarray, n: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        if self.amplitude == 0.0:
+            return self._clean_batch(weights, n)
+        factor = 1.0 + rng.uniform(-self.amplitude, self.amplitude,
+                                   size=(n,) + weights.shape)
+        return weights[None] * factor
 
     def __repr__(self) -> str:
         return f"UniformDrift(amplitude={self.amplitude})"
@@ -124,6 +174,15 @@ class StuckAtFault(DriftModel):
             return weights.copy()
         mask = rng.random(weights.shape) < self.probability
         drifted = weights.copy()
+        drifted[mask] = self.stuck_value
+        return drifted
+
+    def _sample_batch_impl(self, weights: np.ndarray, n: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        drifted = self._clean_batch(weights, n)
+        if self.probability == 0.0:
+            return drifted
+        mask = rng.random((n,) + weights.shape) < self.probability
         drifted[mask] = self.stuck_value
         return drifted
 

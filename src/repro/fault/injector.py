@@ -86,6 +86,67 @@ class FaultInjector:
             if name in self._snapshot:
                 parameter.data = self._snapshot[name].copy()
 
+    # ------------------------------------------------------------------ #
+    # Multi-trial mode: snapshot once, apply many drifted copies.
+    # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def multi_trial(self):
+        """Snapshot once and guarantee restoration, even on exceptions.
+
+        Inside the block the caller may repeatedly :meth:`draw_trials` /
+        :meth:`apply_trial` (or :meth:`inject`) without paying a re-snapshot
+        per trial; the clean weights are restored when the block exits for
+        any reason, so an exception mid-sweep never leaks drifted weights.
+        """
+        self.snapshot()
+        try:
+            yield self
+        finally:
+            self.clear()
+
+    def draw_trials(self, n: int, drift: DriftModel | LayerFaultPolicy | None = None
+                    ) -> dict[str, np.ndarray]:
+        """Pre-draw ``n`` drifted copies of every faultable parameter.
+
+        One vectorized :meth:`DriftModel.sample_batch` RNG call per parameter
+        produces a mapping ``name -> (n,) + shape`` array; slicing the leading
+        axis yields one trial.  ``drift`` overrides the injector's policy for
+        this draw (used by σ-sweeps where each grid point has its own model).
+        Parameters skipped by ``skip`` or the policy are absent from the
+        result and stay clean under :meth:`apply_trial`.
+        """
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        policy = self.policy
+        if drift is not None:
+            policy = UniformPolicy(drift) if isinstance(drift, DriftModel) else drift
+        if self._snapshot is None:
+            self.snapshot()
+        batch: dict[str, np.ndarray] = {}
+        for name in self._snapshot:
+            if any(token in name for token in self.skip):
+                continue
+            model = policy.model_for(name)
+            if model is None:
+                continue
+            batch[name] = model.sample_batch(self._snapshot[name], n, self.rng)
+        return batch
+
+    def apply_trial(self, drifted: dict[str, np.ndarray]) -> None:
+        """Overwrite parameters with one pre-drawn trial's arrays.
+
+        Parameters without an entry in ``drifted`` are reset to their clean
+        snapshot values, so consecutive trials with different policies never
+        see each other's leftovers.
+        """
+        if self._snapshot is None:
+            raise RuntimeError("snapshot() (or multi_trial()) must run before apply_trial()")
+        for name, parameter in self.model.named_parameters():
+            if name in drifted:
+                parameter.data = np.asarray(drifted[name], dtype=np.float64)
+            elif name in self._snapshot:
+                parameter.data = self._snapshot[name].copy()
+
     def clear(self) -> None:
         """Drop the stored snapshot (restores first if still drifted)."""
         self.restore()

@@ -185,6 +185,68 @@ class TestBayesianOptimizer:
         assert len(trace) == 8
 
 
+class TestNaNObjectives:
+    """Regression tests mirroring the wandb bayes_search ``test_nans`` pattern:
+    a diverged trial returns NaN and must never crash the loop or be chosen
+    as the best trial."""
+
+    def test_best_index_skips_nan_trials(self):
+        from repro.bayesopt.optimizer import OptimizationTrace
+        trace = OptimizationTrace()
+        trace.append(np.array([0.1]), 0.4)
+        trace.append(np.array([0.2]), float("nan"))
+        trace.append(np.array([0.3]), 0.9)
+        trace.append(np.array([0.4]), float("inf"))
+        assert trace.best_index == 2
+        assert trace.best_value == pytest.approx(0.9)
+        assert trace.best_point[0] == pytest.approx(0.3)
+
+    def test_all_nan_trace_raises_clearly(self):
+        from repro.bayesopt.optimizer import OptimizationTrace
+        trace = OptimizationTrace()
+        trace.append(np.array([0.5]), float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            trace.best_index
+
+    def test_running_best_ignores_nan(self):
+        from repro.bayesopt.optimizer import OptimizationTrace
+        trace = OptimizationTrace()
+        for value in [0.2, float("nan"), 0.5, float("nan"), 0.3]:
+            trace.append(np.array([0.0]), value)
+        running = trace.running_best()
+        assert np.all(np.isfinite(running[[0, 2, 4]]))
+        assert running[-1] == pytest.approx(0.5)
+        assert np.all(np.diff(running) >= 0)
+
+    def test_optimize_survives_intermittent_nans(self):
+        calls = []
+
+        def flaky(point):
+            calls.append(point)
+            if len(calls) % 3 == 0:  # every third training run "diverges"
+                return float("nan")
+            return float(1.0 - (point[0] - 0.3) ** 2)
+
+        optimizer = BayesianOptimizer([(0.0, 1.0)], n_initial=3, rng=0)
+        trace = optimizer.optimize(flaky, n_trials=15)
+        assert len(trace) == 15
+        assert np.isfinite(trace.best_value)
+        assert trace.best_value > 0.8
+
+    def test_suggest_stays_random_until_enough_finite_points(self):
+        optimizer = BayesianOptimizer([(0.0, 1.0)], n_initial=2, rng=0)
+        for _ in range(5):
+            optimizer.observe(optimizer.suggest(), float("nan"))
+        point = optimizer.suggest()  # must not try to fit a GP on NaNs
+        assert 0.0 <= point[0] <= 1.0
+
+    def test_all_nan_objective_still_suggests_in_bounds(self):
+        optimizer = BayesianOptimizer([(-10.0, 10.0)], n_initial=2, rng=1)
+        trace = optimizer.optimize(lambda p: float("nan"), n_trials=6)
+        assert len(trace) == 6
+        assert all(-10.0 <= p[0] <= 10.0 for p in trace.points)
+
+
 class TestRandomAndGridSearch:
     def test_random_search_respects_bounds(self):
         rs = RandomSearchOptimizer([(2.0, 3.0)], rng=0)

@@ -1,0 +1,252 @@
+"""Tests for the vectorized Monte-Carlo drift-sweep engine.
+
+Covers the sweep subsystem end to end: the batched ``sample_batch`` RNG API,
+the :class:`FaultInjector` multi-trial mode, worker-count determinism, the
+inference cache, snapshot restoration after mid-sweep exceptions, and the
+:class:`SweepReport` JSON round trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticMNIST, train_test_split
+from repro.evaluation import (
+    DriftSweepEngine, SweepReport, RobustnessCurve,
+    accuracy, accuracy_under_drift, robustness_curve, map_under_drift,
+)
+from repro.fault.drift import (
+    DriftModel, LogNormalDrift, GaussianDrift, UniformDrift, StuckAtFault,
+    BitFlipFault,
+)
+from repro.fault.injector import FaultInjector
+from repro.models import build_mlp, TinyDetector
+from repro.data import SyntheticPedestrians
+from repro.training import train_classifier
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = SyntheticMNIST(n_samples=240, image_size=16, rng=7)
+    train_set, test_set = train_test_split(dataset, test_fraction=0.25, rng=7)
+    model = build_mlp(256, depth=3, width=48, num_classes=10, rng=7)
+    train_classifier(model, train_set, epochs=5, learning_rate=0.1, rng=7)
+    return model, test_set
+
+
+class TestSampleBatch:
+    @pytest.mark.parametrize("drift", [
+        LogNormalDrift(0.7), GaussianDrift(0.4), UniformDrift(0.5),
+        StuckAtFault(0.2), BitFlipFault(0.05),
+    ])
+    def test_batch_matches_sequential_perturb_stream(self, drift):
+        """One vectorized call draws the same stream as n perturb calls."""
+        weights = np.random.default_rng(3).normal(size=(4, 5))
+        batch = drift.sample_batch(weights, 3, rng=np.random.default_rng(11))
+        rng = np.random.default_rng(11)
+        sequential = np.stack([drift.perturb(weights, rng) for _ in range(3)])
+        assert batch.shape == (3, 4, 5)
+        np.testing.assert_array_equal(batch, sequential)
+
+    def test_zero_drift_batch_is_clean_copies(self):
+        weights = np.arange(6.0).reshape(2, 3)
+        batch = LogNormalDrift(0.0).sample_batch(weights, 4, rng=0)
+        assert batch.shape == (4, 2, 3)
+        for trial in batch:
+            np.testing.assert_array_equal(trial, weights)
+        batch[0, 0, 0] = 99.0  # the batch must not alias the input
+        assert weights[0, 0] == 0.0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalDrift(0.5).sample_batch(np.ones(3), 0)
+        with pytest.raises(ValueError):
+            GaussianDrift(0.5).sample_batch(np.ones(3), -1)
+
+
+class TestInjectorMultiTrial:
+    def test_draw_trials_shapes_and_apply(self, trained):
+        model, _ = trained
+        injector = FaultInjector(model, LogNormalDrift(0.5), rng=0)
+        with injector.multi_trial():
+            batch = injector.draw_trials(3)
+            names = dict(model.named_parameters())
+            assert set(batch) == set(names)
+            for name, arrays in batch.items():
+                assert arrays.shape == (3,) + names[name].shape
+            injector.apply_trial({name: arrays[1] for name, arrays in batch.items()})
+            for name, parameter in model.named_parameters():
+                np.testing.assert_array_equal(parameter.data, batch[name][1])
+        # Context exit restores the clean weights and drops the snapshot.
+        assert injector._snapshot is None
+
+    def test_multi_trial_restores_after_exception(self, trained):
+        model, _ = trained
+        before = model.state_dict()
+        injector = FaultInjector(model, LogNormalDrift(1.0), rng=0)
+        with pytest.raises(RuntimeError, match="boom"):
+            with injector.multi_trial():
+                batch = injector.draw_trials(1)
+                injector.apply_trial({name: arrays[0] for name, arrays in batch.items()})
+                raise RuntimeError("boom")
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_apply_trial_without_snapshot_raises(self, trained):
+        model, _ = trained
+        injector = FaultInjector(model, LogNormalDrift(0.5), rng=0)
+        with pytest.raises(RuntimeError):
+            injector.apply_trial({})
+
+
+def _failing_eval(model, data):
+    raise RuntimeError("evaluation exploded mid-sweep")
+
+
+class TestDriftSweepEngine:
+    SIGMAS = (0.0, 0.6, 1.2)
+
+    def test_serial_report_structure(self, trained):
+        model, test_set = trained
+        report = DriftSweepEngine(model, test_set, trials=3, rng=0).run(
+            self.SIGMAS, label="mlp")
+        assert report.label == "mlp"
+        assert report.sigmas == list(self.SIGMAS)
+        assert len(report.means) == len(report.stds) == len(self.SIGMAS)
+        assert all(len(scores) == 3 for scores in report.trial_scores)
+        assert report.backend == "serial" and report.workers == 1
+        assert report.elapsed_seconds > 0
+        assert len(report.per_sigma_seconds) == len(self.SIGMAS)
+
+    def test_deterministic_across_worker_counts(self, trained):
+        """A seeded sweep is bit-identical for 1 vs N worker processes."""
+        model, test_set = trained
+        serial = DriftSweepEngine(model, test_set, trials=3, rng=123).run(self.SIGMAS)
+        parallel = DriftSweepEngine(model, test_set, trials=3, rng=123,
+                                    workers=2).run(self.SIGMAS)
+        assert serial.means == parallel.means
+        assert serial.stds == parallel.stds
+        assert serial.trial_scores == parallel.trial_scores
+
+    def test_seeded_reruns_are_reproducible(self, trained):
+        model, test_set = trained
+        first = DriftSweepEngine(model, test_set, trials=2, rng=9).run(self.SIGMAS)
+        second = DriftSweepEngine(model, test_set, trials=2, rng=9).run(self.SIGMAS)
+        assert first.means == second.means and first.stds == second.stds
+
+    def test_sigma_zero_trials_hit_the_cache(self, trained):
+        model, test_set = trained
+        trials = 4
+        report = DriftSweepEngine(model, test_set, trials=trials, rng=0).run((0.0, 1.0))
+        # All σ=0 trials are bit-identical: one evaluation, trials-1 hits.
+        assert report.cache_hits >= trials - 1
+        assert report.n_evaluations == 2 * trials - report.cache_hits
+        assert report.means[0] == pytest.approx(accuracy(model, test_set))
+        assert report.stds[0] == 0.0
+
+    def test_cache_disabled_evaluates_every_trial(self, trained):
+        model, test_set = trained
+        report = DriftSweepEngine(model, test_set, trials=3, rng=0,
+                                  cache=False).run((0.0,))
+        assert report.cache_hits == 0
+        assert report.n_evaluations == 3
+
+    def test_weights_restored_after_failed_sweep(self, trained):
+        """An exception mid-sweep must not leak drifted weights."""
+        model, test_set = trained
+        before = model.state_dict()
+        engine = DriftSweepEngine(model, test_set, trials=2, rng=0,
+                                  evaluate_fn=_failing_eval)
+        with pytest.raises(RuntimeError, match="mid-sweep"):
+            engine.run((0.8, 1.2))
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_drift_model_instance_rejected(self, trained):
+        model, test_set = trained
+        with pytest.raises(TypeError, match="callable mapping sigma"):
+            DriftSweepEngine(model, test_set, drift_factory=LogNormalDrift(0.5))
+
+    def test_custom_drift_factory_per_sigma(self, trained):
+        model, test_set = trained
+        seen = []
+
+        def factory(sigma):
+            seen.append(sigma)
+            return GaussianDrift(sigma)
+
+        DriftSweepEngine(model, test_set, trials=1, rng=0,
+                         drift_factory=factory).run(self.SIGMAS)
+        assert seen == list(self.SIGMAS)
+
+    def test_invalid_parameters_rejected(self, trained):
+        model, test_set = trained
+        with pytest.raises(ValueError):
+            DriftSweepEngine(model, test_set, trials=0)
+        with pytest.raises(ValueError):
+            DriftSweepEngine(model, test_set, workers=-1)
+
+    def test_detection_sweep_through_engine(self):
+        """The engine is evaluation-agnostic: mAP sweeps ride it too."""
+        dataset = SyntheticPedestrians(n_samples=8, image_size=32, rng=0)
+        detector = TinyDetector(image_size=32, width=4, grid_size=8, rng=0)
+        result = map_under_drift(detector, dataset.samples, sigmas=(0.0, 0.5),
+                                 trials=2, rng=0)
+        assert result["sigmas"] == [0.0, 0.5]
+        assert all(0.0 <= m <= 1.0 for m in result["means"])
+
+
+class TestSweepReportSerialization:
+    def test_json_round_trip(self, trained):
+        model, test_set = trained
+        report = DriftSweepEngine(model, test_set, trials=2, rng=0).run((0.0, 1.0),
+                                                                        label="rt")
+        restored = SweepReport.from_json(report.to_json())
+        assert restored == report
+
+    def test_round_trip_preserves_curve(self, trained):
+        model, test_set = trained
+        report = DriftSweepEngine(model, test_set, trials=2, rng=0).run((0.0, 1.0))
+        curve = SweepReport.from_json(report.to_json()).curve()
+        assert isinstance(curve, RobustnessCurve)
+        assert curve.sigmas == report.sigmas
+        assert curve.means == report.means
+        assert curve.stds == report.stds
+
+
+class TestLegacyWrappers:
+    def test_robustness_curve_workers_identical(self, trained):
+        model, test_set = trained
+        serial = robustness_curve(model, test_set, sigmas=(0.0, 1.0), trials=2, rng=4)
+        parallel = robustness_curve(model, test_set, sigmas=(0.0, 1.0), trials=2,
+                                    rng=4, workers=2)
+        assert serial.means == parallel.means
+        assert serial.stds == parallel.stds
+
+    def test_accuracy_under_drift_rejects_drift_model_instance(self, trained):
+        """Regression: a DriftModel instance used to silently override σ, so a
+        whole σ-sweep would measure one fixed drift level."""
+        model, test_set = trained
+        with pytest.raises(TypeError, match="callable mapping sigma"):
+            accuracy_under_drift(model, test_set, sigma=1.0,
+                                 drift_factory=LogNormalDrift(0.1))
+
+    def test_accuracy_under_drift_factory_receives_sigma(self, trained):
+        model, test_set = trained
+        received = []
+
+        def factory(sigma):
+            received.append(sigma)
+            return LogNormalDrift(sigma)
+
+        accuracy_under_drift(model, test_set, sigma=0.9, trials=2, rng=0,
+                             drift_factory=factory)
+        assert received == [0.9]
+
+    def test_accuracy_at_on_empty_curve_raises_clearly(self):
+        curve = RobustnessCurve(label="empty-curve")
+        with pytest.raises(ValueError, match="empty-curve"):
+            curve.accuracy_at(0.5)
