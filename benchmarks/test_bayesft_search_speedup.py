@@ -1,0 +1,157 @@
+"""Benchmark: the BayesFT inner objective routed through DriftSweepEngine.
+
+The hottest path of the whole system is the Monte-Carlo estimate of the
+drift-marginalised utility u(α, θ) (Eq. 3–4), evaluated once per
+Bayesian-optimisation trial.  The baseline below reproduces the pre-engine
+objective verbatim — one `fault_injection` context (snapshot + inject +
+restore) and one forward pass per Monte-Carlo draw, plus a separate clean
+evaluation.  Against it we time the engine-routed objective
+(`evaluate_with_clean`: pre-drawn vectorized trials, one snapshot, inference
+cache) and assert it at worst matches the seed-style loop on any machine —
+the two run the same number of model evaluations, so the engine's digest
+bookkeeping must stay in the noise.
+
+We then run the full BayesFT search serial vs 2 sweep workers vs chunked
+pre-drawing and assert the acceptance contract: seeded results are
+bit-identical however the inner sweep is scheduled.  Timings and the
+inner-objective evaluations saved by the inference cache are printed on
+every run for EXPERIMENTS.md/ROADMAP.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import BayesFT, DriftMarginalizedObjective
+from repro.data import SyntheticMNIST, train_test_split
+from repro.fault.drift import LogNormalDrift
+from repro.fault.injector import fault_injection
+from repro.models import build_mlp
+from repro.nn.tensor import Tensor, no_grad
+from repro.training import train_classifier
+from repro.utils.rng import get_rng
+
+OBJECTIVE_SIGMA = 0.8
+MC_SAMPLES = 4
+REPEATS = 12
+
+
+def _data_and_model(config):
+    dataset = SyntheticMNIST(n_samples=config.train_samples + config.test_samples,
+                             image_size=16, rng=0)
+    fraction = config.test_samples / (config.train_samples + config.test_samples)
+    train_set, _ = train_test_split(dataset, test_fraction=fraction, rng=0)
+    # Validation at the objective's real evaluation size (max_batch=512), so
+    # the timing reflects production Monte-Carlo calls rather than being
+    # dominated by per-call bookkeeping on a toy batch.
+    validation_set = SyntheticMNIST(n_samples=512, image_size=16, rng=1)
+    model = build_mlp(256, depth=3, width=64, num_classes=10, rng=0)
+    train_classifier(model, train_set, epochs=config.epochs,
+                     batch_size=config.batch_size,
+                     learning_rate=config.learning_rate, rng=0)
+    return train_set, validation_set, model
+
+
+def _seed_style_objective(model, validation_set, rng) -> tuple[float, float]:
+    """The pre-engine inner objective: a private per-draw Monte-Carlo loop."""
+    model.eval()
+    inputs, labels = validation_set.inputs, validation_set.labels
+
+    def score_once():
+        with no_grad():
+            logits = model(Tensor(inputs))
+        return float((logits.data.argmax(axis=1) == labels).mean())
+
+    scores = []
+    for _ in range(MC_SAMPLES):
+        with fault_injection(model, LogNormalDrift(OBJECTIVE_SIGMA), rng=rng):
+            scores.append(score_once())
+    return float(np.mean(scores)), score_once()
+
+
+def test_engine_objective_matches_seed_loop_and_search_is_deterministic(bench_config):
+    train_set, validation_set, model = _data_and_model(bench_config)
+
+    # ---------------------------------------------------------------- #
+    # 1. Inner-objective wall clock: seed-style loop vs engine routing.
+    rng = get_rng(11)
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        _seed_style_objective(model, validation_set, rng)
+    seed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        objective = DriftMarginalizedObjective(validation_set, sigma=OBJECTIVE_SIGMA,
+                                               monte_carlo_samples=MC_SAMPLES,
+                                               metric="accuracy", rng=11)
+        objective.evaluate_with_clean(model)
+    engine_seconds = time.perf_counter() - start
+
+    # Persistent shared cache: unchanged weights are never re-evaluated.
+    cached_objective = DriftMarginalizedObjective(validation_set, sigma=OBJECTIVE_SIGMA,
+                                                  monte_carlo_samples=MC_SAMPLES,
+                                                  metric="accuracy", rng=11)
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        cached_objective.evaluate_with_clean(model)
+    cached_seconds = time.perf_counter() - start
+
+    per_call_trials = 2 * MC_SAMPLES  # naive (0, σ) sweep would run this many
+    print(f"\ninner objective x{REPEATS} ({MC_SAMPLES} MC draws + clean): "
+          f"seed-style loop {seed_seconds:.3f}s, engine {engine_seconds:.3f}s, "
+          f"engine with persistent cache {cached_seconds:.3f}s "
+          f"on {os.cpu_count()} cores")
+    print(f"engine evaluations per call: {objective.evaluations_total // 1} of "
+          f"{per_call_trials} trials; cache saved "
+          f"{objective.cache_hits_total} evaluations per call, "
+          f"{cached_objective.cache_hits_total} of "
+          f"{REPEATS * per_call_trials} across the cached repeats")
+    assert objective.cache_hits_total >= MC_SAMPLES - 1  # σ=0 draws collapse
+    # The σ>0 draws are fresh randomness every call (that is the Monte-Carlo
+    # estimator), but the clean row is evaluated exactly once across all
+    # repeats thanks to the persistent cache.
+    assert cached_objective.evaluations_total == REPEATS * MC_SAMPLES + 1
+    assert cached_objective.cache_hits_total == (
+        REPEATS * 2 * MC_SAMPLES - cached_objective.evaluations_total)
+    # Same number of model evaluations per call -> the engine's bookkeeping
+    # must not cost more than the seed loop's per-draw snapshot/restore.
+    assert engine_seconds <= seed_seconds * 1.5, (
+        f"engine-routed objective {engine_seconds:.3f}s vs seed-style "
+        f"{seed_seconds:.3f}s ({engine_seconds / seed_seconds:.2f}x)")
+    assert cached_seconds <= engine_seconds * 1.15
+
+    # ---------------------------------------------------------------- #
+    # 2. Full search: bit-identical for any inner-sweep scheduling.
+    def run_search(**kwargs):
+        search_model = build_mlp(256, depth=3, width=48, num_classes=10, rng=3)
+        searcher = BayesFT(sigma=OBJECTIVE_SIGMA, n_trials=bench_config.bo_trials,
+                           epochs_per_trial=1, monte_carlo_samples=MC_SAMPLES,
+                           learning_rate=bench_config.learning_rate, rng=3,
+                           **kwargs)
+        start = time.perf_counter()
+        result = searcher.fit(search_model, train_set)
+        return result, time.perf_counter() - start
+
+    serial, serial_seconds = run_search()
+    parallel, parallel_seconds = run_search(sweep_workers=2)
+    chunked, chunked_seconds = run_search(max_chunk_trials=1)
+
+    saved = serial.objective_stats["cache_hits"]
+    total = serial.objective_stats["evaluations"] + saved
+    print(f"BayesFT search ({bench_config.bo_trials} BO trials): serial "
+          f"{serial_seconds:.2f}s, 2 sweep workers {parallel_seconds:.2f}s, "
+          f"max_chunk_trials=1 {chunked_seconds:.2f}s")
+    print(f"inner-objective evaluations saved by the cache: {saved} of "
+          f"{total} scheduled trials "
+          f"({serial.objective_stats['evaluations']} model evaluations run)")
+
+    assert saved > 0
+    for variant in (parallel, chunked):
+        assert variant.trial_objectives == serial.trial_objectives
+        assert variant.clean_objectives == serial.clean_objectives
+        np.testing.assert_array_equal(variant.best_alpha, serial.best_alpha)
+        assert variant.objective_stats == serial.objective_stats

@@ -38,13 +38,17 @@ def main() -> None:
                        monte_carlo_samples=3, learning_rate=0.1, rng=0)
     result = searcher.fit(bayesft_model, train_set)
     print("BayesFT selected per-layer dropout rates:", np.round(result.best_alpha, 3))
+    stats = result.objective_stats
+    print(f"inner-objective evaluations: {stats['evaluations']} "
+          f"(inference cache saved {stats['cache_hits']})")
 
     # 4. Evaluate both under memristance drift (accuracy vs sigma) with the
     #    DriftSweepEngine: all drift samples are pre-drawn vectorized, the
     #    clean weights are snapshotted once per sweep, bit-identical trials
     #    (every sigma=0 draw) are answered from the inference cache, and
-    #    `workers=4` would spread trials over 4 processes with the exact same
-    #    seeded numbers.
+    #    `workers=4` would spread trials over 4 processes — or
+    #    `max_chunk_trials=2` bound memory for deep models — with the exact
+    #    same seeded numbers.
     sigmas = (0.0, 0.3, 0.6, 0.9, 1.2, 1.5)
     erm_report = DriftSweepEngine(erm_model, test_set, trials=5,
                                   rng=1).run(sigmas, label="ERM")

@@ -1,4 +1,15 @@
-"""The Bayesian-optimisation loop over a box-constrained search space."""
+"""The Bayesian-optimisation loop over a box-constrained search space.
+
+This is the outer loop of BayesFT's Algorithm 1: a Gaussian-process
+surrogate (:mod:`repro.bayesopt.gp`) is fitted to every ``(α, u)`` pair
+observed so far, an acquisition function (:mod:`repro.bayesopt.acquisition`)
+scores a random candidate pool, and the best candidate becomes the next
+trial's dropout configuration.  :class:`BayesianOptimizer` exposes the
+``suggest``/``observe`` pair used by
+:class:`~repro.core.algorithm.BayesFTSearch` as well as a self-contained
+:meth:`~BayesianOptimizer.optimize` loop; :class:`OptimizationTrace` records
+every trial for regret plots and NaN-safe ``best_*`` lookups.
+"""
 
 from __future__ import annotations
 
@@ -76,12 +87,23 @@ class BayesianOptimizer:
         these are the per-layer dropout-rate ranges).
     acquisition:
         Acquisition function; default is the paper's posterior-mean rule.
+    kernel:
+        Covariance kernel for the GP surrogate; default is an
+        :class:`~repro.bayesopt.kernels.ExponentialKernel` with unit
+        lengthscale per dimension.
     n_initial:
         Number of uniformly random trials before the surrogate is used
         (Algorithm 1 initialises α uniformly on [0, 1]).
     n_candidates:
         Size of the random candidate pool scored by the acquisition function
         at each step.
+    noise:
+        Observation-noise variance added to the GP's diagonal; raise it for
+        very noisy objectives (few Monte-Carlo samples), lower it for
+        near-deterministic ones.
+    rng:
+        Seed or ``numpy.random.Generator`` for candidate sampling; a fixed
+        seed makes the whole optimisation reproducible.
     """
 
     def __init__(self, bounds: Sequence[tuple[float, float]],

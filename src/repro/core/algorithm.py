@@ -33,7 +33,13 @@ __all__ = ["BayesFTSearch", "BayesFTResult"]
 
 @dataclass
 class BayesFTResult:
-    """Outcome of a BayesFT search."""
+    """Outcome of a BayesFT search.
+
+    ``objective_stats`` summarises the inner Monte-Carlo evaluation work:
+    ``evaluations`` is the number of model evaluations the sweep engine
+    actually ran and ``cache_hits`` how many trials the inference cache
+    answered without running the model (evaluations saved).
+    """
 
     best_alpha: np.ndarray
     best_objective: float
@@ -41,6 +47,7 @@ class BayesFTResult:
     trial_alphas: list = field(default_factory=list)
     trial_objectives: list = field(default_factory=list)
     clean_objectives: list = field(default_factory=list)
+    objective_stats: dict = field(default_factory=dict)
 
     @property
     def num_trials(self) -> int:
@@ -133,8 +140,15 @@ class BayesFTSearch:
             if not self.warm_start:
                 self.model.load_state_dict(initial_state)
             self._train_weights()
-            value = self.objective.evaluate(self.model)
-            clean_objectives.append(self.objective.evaluate_clean(self.model))
+            # One engine run measures the drifted utility (Eq. 4) and the
+            # clean diagnostic together; the inference cache collapses the
+            # σ=0 trials to a single model evaluation.
+            if hasattr(self.objective, "evaluate_with_clean"):
+                value, clean_value, _ = self.objective.evaluate_with_clean(self.model)
+            else:  # custom objective without the engine-backed fast path
+                value = self.objective.evaluate(self.model)
+                clean_value = self.objective.evaluate_clean(self.model)
+            clean_objectives.append(clean_value)
             self.optimizer.observe(alpha, value)
             trial_alphas.append(alpha.copy())
             trial_objectives.append(value)
@@ -146,7 +160,12 @@ class BayesFTSearch:
         # Leave the model configured with the best architecture and weights.
         self.search_space.apply(best_alpha)
         self.model.load_state_dict(best_state)
+        stats = {}
+        if hasattr(self.objective, "evaluations_total"):
+            stats = {"evaluations": self.objective.evaluations_total,
+                     "cache_hits": self.objective.cache_hits_total}
         return BayesFTResult(best_alpha=best_alpha, best_objective=best_objective,
                              best_state=best_state, trial_alphas=trial_alphas,
                              trial_objectives=trial_objectives,
-                             clean_objectives=clean_objectives)
+                             clean_objectives=clean_objectives,
+                             objective_stats=stats)

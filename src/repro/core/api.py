@@ -43,6 +43,21 @@ class BayesFT:
         Portion of the training data held out for the drifted objective.
     optimizer_kind:
         ``"bayes"`` or ``"random"`` (the ablation baseline).
+    sweep_workers:
+        Worker processes for the inner Monte-Carlo objective, forwarded to
+        :class:`~repro.evaluation.sweep.DriftSweepEngine`: ``0``/``1``
+        evaluates serially, ``n >= 2`` fans the drift draws out over ``n``
+        processes.  Seeded search results are bit-identical either way.
+    max_chunk_trials:
+        Bound on how many drifted weight copies the inner objective
+        materialises at once (``None`` = all ``monte_carlo_samples``);
+        bounds memory for deep models without changing any seeded result.
+    warm_start:
+        If True (default) each trial fine-tunes the current weights; if
+        False every trial retrains from the initial weights.
+    rng:
+        Seed or ``numpy.random.Generator`` shared by training, the search
+        and the objective; a fixed seed makes the whole search reproducible.
     """
 
     def __init__(self, sigma: float = 0.6, n_trials: int = 10, epochs_per_trial: int = 2,
@@ -51,6 +66,7 @@ class BayesFT:
                  learning_rate: float = 0.05, momentum: float = 0.9,
                  weight_optimizer: str = "sgd",
                  max_dropout_rate: float = 0.9, optimizer_kind: str = "bayes",
+                 sweep_workers: int = 0, max_chunk_trials: int | None = None,
                  warm_start: bool = True, rng=None):
         if not 0.0 < validation_fraction < 1.0:
             raise ValueError("validation_fraction must lie in (0, 1)")
@@ -66,6 +82,8 @@ class BayesFT:
         self.weight_optimizer = weight_optimizer
         self.max_dropout_rate = max_dropout_rate
         self.optimizer_kind = optimizer_kind
+        self.sweep_workers = sweep_workers
+        self.max_chunk_trials = max_chunk_trials
         self.warm_start = warm_start
         self.rng = get_rng(rng)
         self.search_: BayesFTSearch | None = None
@@ -83,7 +101,8 @@ class BayesFT:
         objective = DriftMarginalizedObjective(
             validation_dataset, sigma=self.sigma,
             monte_carlo_samples=self.monte_carlo_samples, metric=self.metric,
-            rng=self.rng)
+            sweep_workers=self.sweep_workers,
+            max_chunk_trials=self.max_chunk_trials, rng=self.rng)
         self.search_ = BayesFTSearch(
             search_space, objective, train_set,
             epochs_per_trial=self.epochs_per_trial, batch_size=self.batch_size,

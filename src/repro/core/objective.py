@@ -1,4 +1,4 @@
-"""The drift-marginalised objective of Eq. (3)–(4).
+"""The drift-marginalised objective of Eq. (3)–(4), routed through the sweep engine.
 
 ``u(α, θ) = −E_{θ̃~p(θ̃)}[ℓ(f_{α,θ̃}(x), y)]`` is intractable; the paper
 estimates it with ``T`` Monte-Carlo samples of the drifted weights
@@ -6,6 +6,21 @@ estimates it with ``T`` Monte-Carlo samples of the drifted weights
 drift) is also provided — it is the quantity actually plotted in the
 paper's figures and is bounded in [0, 1], which keeps the GP surrogate well
 behaved.
+
+This is the hottest path of the whole system: the estimate runs once per
+Bayesian-optimisation trial (Algorithm 1, line 8).  Instead of a private
+per-draw loop, the ``T`` drift draws are pre-drawn vectorized and evaluated
+through :class:`~repro.evaluation.sweep.DriftSweepEngine`, which gives the
+search three things for free:
+
+* an **inference cache** — bit-identical drifted weight sets (every clean
+  σ=0 draw, and any repeat across BO trials via the persistent
+  ``shared_cache``) are evaluated exactly once;
+* **deterministic seeding** — results are bit-identical for any
+  ``sweep_workers`` count and any ``max_chunk_trials`` chunk size, because
+  all randomness is consumed in the main process before evaluation is
+  scheduled;
+* optional **process-parallel fan-out** of the Monte-Carlo draws.
 """
 
 from __future__ import annotations
@@ -16,11 +31,25 @@ from ..nn import cross_entropy
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
 from ..data.loader import Dataset
-from ..fault.drift import LogNormalDrift
-from ..fault.injector import fault_injection
+from ..evaluation.sweep import DriftSweepEngine, SweepReport
 from ..utils.rng import get_rng
 
 __all__ = ["DriftMarginalizedObjective"]
+
+
+def _batch_metrics(model: Module, batch: Dataset) -> tuple[float, float]:
+    """Accuracy and cross-entropy of ``model`` on one evaluation batch.
+
+    Both metrics come from a single forward pass; the engine stores the
+    accuracy as the trial score and the loss in the report's loss track, so
+    one sweep serves Eq. 3 (``neg_loss``) and the figures (``accuracy``).
+    Module-level so the process-parallel backend can pickle it.
+    """
+    with no_grad():
+        logits = model(Tensor(batch.inputs))
+    score = float((logits.data.argmax(axis=1) == batch.labels).mean())
+    loss = float(cross_entropy(logits, batch.labels).item())
+    return score, loss
 
 
 class DriftMarginalizedObjective:
@@ -39,53 +68,109 @@ class DriftMarginalizedObjective:
         ``"neg_loss"`` (the paper's Eq. 3) or ``"accuracy"``.
     max_batch:
         Evaluation subsample size per Monte-Carlo draw, to bound CPU cost.
+    sweep_workers:
+        Worker processes for the inner sweep: ``0``/``1`` evaluates the
+        Monte-Carlo draws serially, ``n >= 2`` fans them out over ``n``
+        processes.  Seeded results are bit-identical either way.
+    max_chunk_trials:
+        Bound on how many drifted weight copies are materialised at once
+        while pre-drawing the ``T`` samples (``None`` = all at once); lets
+        PreAct-ResNet-depth models run the search in bounded memory without
+        changing any result.
+
+    Attributes
+    ----------
+    evaluations_total / cache_hits_total:
+        Running counters over every engine run this objective has issued —
+        ``cache_hits_total`` is the number of model evaluations the
+        inference cache saved the Bayesian-optimisation loop.
     """
 
     def __init__(self, dataset: Dataset, sigma: float = 0.6,
                  monte_carlo_samples: int = 5, metric: str = "neg_loss",
-                 max_batch: int = 512, rng=None):
+                 max_batch: int = 512, rng=None, sweep_workers: int = 0,
+                 max_chunk_trials: int | None = None):
         if monte_carlo_samples < 1:
             raise ValueError("monte_carlo_samples must be at least 1")
         if metric not in ("neg_loss", "accuracy"):
             raise ValueError("metric must be 'neg_loss' or 'accuracy'")
+        if sweep_workers < 0:
+            raise ValueError("sweep_workers must be non-negative")
         self.dataset = dataset
         self.sigma = float(sigma)
         self.monte_carlo_samples = int(monte_carlo_samples)
         self.metric = metric
         self.max_batch = int(max_batch)
         self.rng = get_rng(rng)
+        self.sweep_workers = int(sweep_workers)
+        self.max_chunk_trials = max_chunk_trials
+        # Digest -> (accuracy, loss), persisted across evaluate() calls so
+        # repeated weight states across BO trials are never re-evaluated.
+        self._shared_cache: dict = {}
+        self.evaluations_total = 0
+        self.cache_hits_total = 0
+        self.last_report: SweepReport | None = None
 
     # ------------------------------------------------------------------ #
     def _evaluation_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._evaluation_data()[:]
+
+    def _evaluation_data(self) -> Dataset:
         n = len(self.dataset)
         if n <= self.max_batch:
-            return self.dataset.inputs, self.dataset.labels
+            return self.dataset
+        # A fresh subsample invalidates the cross-call cache: its entries
+        # were measured on a different evaluation batch, so identical
+        # weights would no longer produce identical metrics.
+        self._shared_cache.clear()
         indices = self.rng.choice(n, size=self.max_batch, replace=False)
-        return self.dataset.inputs[indices], self.dataset.labels[indices]
+        return self.dataset.subset(indices)
 
-    def _score_once(self, model: Module, inputs: np.ndarray, labels: np.ndarray) -> float:
-        with no_grad():
-            logits = model(Tensor(inputs))
+    def _engine(self, model: Module, batch: Dataset) -> DriftSweepEngine:
+        return DriftSweepEngine(model, batch, trials=self.monte_carlo_samples,
+                                workers=self.sweep_workers,
+                                max_chunk_trials=self.max_chunk_trials,
+                                rng=self.rng, evaluate_fn=_batch_metrics,
+                                shared_cache=self._shared_cache)
+
+    def _utility(self, report: SweepReport, row: int) -> float:
         if self.metric == "accuracy":
-            return float((logits.data.argmax(axis=1) == labels).mean())
-        loss = cross_entropy(logits, labels)
-        return -float(loss.item())
+            return float(np.mean(report.trial_scores[row]))
+        return -float(np.mean(report.trial_losses[row]))
 
+    def _record(self, report: SweepReport) -> None:
+        self.evaluations_total += report.n_evaluations
+        self.cache_hits_total += report.cache_hits
+        self.last_report = report
+
+    # ------------------------------------------------------------------ #
     def evaluate(self, model: Module) -> float:
         """Estimate u(α, θ) for the model's current architecture and weights."""
         model.eval()
-        inputs, labels = self._evaluation_batch()
-        scores = []
-        for _ in range(self.monte_carlo_samples):
-            with fault_injection(model, LogNormalDrift(self.sigma), rng=self.rng):
-                scores.append(self._score_once(model, inputs, labels))
-        return float(np.mean(scores))
+        report = self._engine(model, self._evaluation_data()).run(
+            (self.sigma,), label="objective")
+        self._record(report)
+        return self._utility(report, 0)
+
+    def evaluate_with_clean(self, model: Module) -> tuple[float, float, SweepReport]:
+        """Drifted and clean utility from one engine run over (0, σ).
+
+        The σ=0 row's ``T`` trials are bit-identical, so the inference cache
+        collapses them to a single model evaluation — the clean diagnostic
+        the search loop logs every trial is nearly free.  Returns
+        ``(u_drifted, u_clean, report)``.
+        """
+        model.eval()
+        report = self._engine(model, self._evaluation_data()).run(
+            (0.0, self.sigma), label="objective")
+        self._record(report)
+        return self._utility(report, 1), self._utility(report, 0), report
 
     def evaluate_clean(self, model: Module) -> float:
-        """The same metric without any drift (diagnostic)."""
+        """The same metric without any drift (diagnostic; one forward pass)."""
         model.eval()
-        inputs, labels = self._evaluation_batch()
-        return self._score_once(model, inputs, labels)
+        score, loss = _batch_metrics(model, self._evaluation_data())
+        return score if self.metric == "accuracy" else -loss
 
     def __call__(self, model: Module) -> float:
         return self.evaluate(model)

@@ -81,11 +81,13 @@ def mean_average_precision(detector, samples, iou_threshold: float = 0.5,
 
 def map_under_drift(detector, samples, sigmas: Sequence[float],
                     trials: int = 3, rng=None, iou_threshold: float = 0.5,
-                    workers: int = 0) -> dict:
+                    workers: int = 0, max_chunk_trials: int | None = None) -> dict:
     """mAP-vs-σ sweep (the Fig. 3(j) measurement).
 
     Thin wrapper over :class:`~repro.evaluation.sweep.DriftSweepEngine` with
-    mAP as the per-trial evaluation function.
+    mAP as the per-trial evaluation function.  ``max_chunk_trials`` bounds
+    how many drifted weight copies are pre-drawn at once (``None`` = all);
+    seeded results are bit-identical for any value.
     """
     import functools
 
@@ -93,6 +95,7 @@ def map_under_drift(detector, samples, sigmas: Sequence[float],
 
     engine = DriftSweepEngine(
         detector, samples, trials=trials, workers=workers, rng=rng,
+        max_chunk_trials=max_chunk_trials,
         evaluate_fn=functools.partial(mean_average_precision,
                                       iou_threshold=iou_threshold))
     report = engine.run(sigmas)

@@ -37,18 +37,22 @@ def accuracy(model: Module, dataset: Dataset, batch_size: int = 256) -> float:
 
 def accuracy_under_drift(model: Module, dataset: Dataset, sigma: float,
                          trials: int = 5, drift_factory=None, rng=None,
-                         batch_size: int = 256, workers: int = 0) -> tuple[float, float]:
+                         batch_size: int = 256, workers: int = 0,
+                         max_chunk_trials: int | None = None) -> tuple[float, float]:
     """Mean and std of accuracy over ``trials`` independent drift samples.
 
     ``drift_factory`` maps σ to a :class:`~repro.fault.drift.DriftModel`
     (defaults to the paper's log-normal drift).  Passing a ``DriftModel``
     *instance* raises: its fixed parameters would silently override ``sigma``
     and every point of a σ-sweep would measure the same drift level.
+    ``max_chunk_trials`` bounds how many drifted weight copies are pre-drawn
+    at once (``None`` = all); seeded results are bit-identical for any value.
     """
     from .sweep import DriftSweepEngine
     engine = DriftSweepEngine(model, dataset, trials=trials,
                               drift_factory=drift_factory, batch_size=batch_size,
-                              workers=workers, rng=rng)
+                              workers=workers, rng=rng,
+                              max_chunk_trials=max_chunk_trials)
     report = engine.run([sigma])
     return report.means[0], report.stds[0]
 
@@ -87,16 +91,18 @@ class RobustnessCurve:
 def robustness_curve(model: Module, dataset: Dataset,
                      sigmas: Sequence[float] = (0.0, 0.3, 0.6, 0.9, 1.2, 1.5),
                      trials: int = 5, label: str = "", drift_factory=None,
-                     rng=None, batch_size: int = 256,
-                     workers: int = 0) -> RobustnessCurve:
+                     rng=None, batch_size: int = 256, workers: int = 0,
+                     max_chunk_trials: int | None = None) -> RobustnessCurve:
     """Sweep σ over a grid and record mean/std accuracy at each point.
 
     Thin wrapper over :class:`~repro.evaluation.sweep.DriftSweepEngine`;
-    pass ``workers >= 2`` to evaluate trials in parallel processes (seeded
-    results are bit-identical to the serial path).
+    pass ``workers >= 2`` to evaluate trials in parallel processes and
+    ``max_chunk_trials`` to bound how many drifted weight copies are
+    pre-drawn at once (seeded results are bit-identical either way).
     """
     from .sweep import DriftSweepEngine
     engine = DriftSweepEngine(model, dataset, trials=trials,
                               drift_factory=drift_factory, batch_size=batch_size,
-                              workers=workers, rng=rng)
+                              workers=workers, rng=rng,
+                              max_chunk_trials=max_chunk_trials)
     return engine.run(sigmas, label=label or type(model).__name__).curve()

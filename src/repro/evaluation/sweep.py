@@ -6,26 +6,37 @@ copies and average.  The naive loop re-snapshots the weights, re-draws the
 drift and re-runs the full test set once per (σ, trial) pair with zero reuse.
 :class:`DriftSweepEngine` is the production-scale replacement:
 
-1. **Vectorized sampling** — all ``trials`` drift copies per σ are pre-drawn
-   with one :meth:`~repro.fault.drift.DriftModel.sample_batch` RNG call per
-   parameter (via :meth:`FaultInjector.draw_trials`), in the main process.
+1. **Vectorized sampling** — all drift copies are pre-drawn with one
+   :meth:`~repro.fault.drift.DriftModel.sample_batch` RNG call per
+   (σ, parameter, chunk) via :meth:`FaultInjector.plan_trials
+   <repro.fault.injector.FaultInjector.plan_trials>`, in the main process.
    Because sampling is decoupled from evaluation, results are bit-identical
    regardless of how evaluation is scheduled.
-2. **Single snapshot** — the clean weights are snapshotted once per sweep
+2. **Chunked pre-drawing** — ``max_chunk_trials`` bounds how many weight
+   copies per parameter are materialised at once, so PreAct-ResNet-depth
+   models sweep in bounded memory.  Per-parameter RNG streams make the drawn
+   trials bit-identical for any chunk size.
+3. **Single snapshot** — the clean weights are snapshotted once per sweep
    (:meth:`FaultInjector.multi_trial`), not once per trial, and restored even
    if an evaluation raises mid-sweep.
-3. **Parallel evaluation** — trials run under ``concurrent.futures``
+4. **Parallel evaluation** — trials run under ``concurrent.futures``
    process-level parallelism (``workers`` configurable, serial fallback on
    any pool failure), plus an inference cache keyed on the drifted weight
    bytes so bit-identical trials (every σ=0 trial, for instance) are
-   evaluated exactly once.
-4. **Structured results** — the sweep streams into the existing
+   evaluated exactly once.  A caller-owned ``shared_cache`` extends the
+   cache across engine runs — the BayesFT inner objective reuses it across
+   Bayesian-optimisation trials.
+5. **Structured results** — the sweep streams into the existing
    :class:`~repro.evaluation.robustness.RobustnessCurve` and returns a
-   JSON-serializable :class:`SweepReport` with timing statistics.
+   JSON-serializable :class:`SweepReport` with timing statistics and, when
+   the evaluation function reports one, a per-trial loss track (the paper's
+   Eq. 3 objective needs losses, its figures need accuracies).
 
 The legacy :func:`~repro.evaluation.robustness.robustness_curve` /
 :func:`~repro.evaluation.detection_metrics.map_under_drift` entry points are
-thin wrappers over this engine.
+thin wrappers over this engine, as are the BayesFT inner objective
+(:class:`~repro.core.objective.DriftMarginalizedObjective`) and the fig2/fig3
+experiment harnesses.
 """
 
 from __future__ import annotations
@@ -56,6 +67,23 @@ def classification_accuracy(model, data, batch_size: int = 256) -> float:
     return accuracy(model, data, batch_size=batch_size)
 
 
+def _split_metrics(value) -> tuple[float, float | None]:
+    """Normalise an ``evaluate_fn`` result to ``(score, loss-or-None)``.
+
+    An evaluation function may return a bare float (score only, the classic
+    accuracy path) or a ``(score, loss)`` pair (the objective path, which
+    needs both Eq.-3 losses and figure-ready accuracies from one forward
+    pass).
+    """
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise TypeError(
+                "evaluate_fn must return a float score or a (score, loss) "
+                f"pair; got a sequence of length {len(value)}")
+        return float(value[0]), float(value[1])
+    return float(value), None
+
+
 # --------------------------------------------------------------------------- #
 # Worker-process plumbing.  The model and dataset are shipped once per worker
 # (via the pool initializer); each task then carries only the drifted
@@ -79,12 +107,13 @@ def _init_worker(model, data, evaluate_fn) -> None:
     _WORKER_STATE["evaluate_fn"] = evaluate_fn
 
 
-def _run_trial(digest: str, params: dict) -> tuple[str, float, float]:
+def _run_trial(digest: str, params: dict) -> tuple[str, float, float | None, float]:
     _WORKER_STATE["injector"].apply_trial(params)
     start = time.perf_counter()
-    score = float(_WORKER_STATE["evaluate_fn"](_WORKER_STATE["model"],
-                                               _WORKER_STATE["data"]))
-    return digest, score, time.perf_counter() - start
+    value = _WORKER_STATE["evaluate_fn"](_WORKER_STATE["model"],
+                                         _WORKER_STATE["data"])
+    score, loss = _split_metrics(value)
+    return digest, score, loss, time.perf_counter() - start
 
 
 def _weights_digest(params: dict) -> str:
@@ -98,19 +127,30 @@ def _weights_digest(params: dict) -> str:
 
 @dataclass
 class SweepReport:
-    """JSON-serializable record of one drift sweep, with timing statistics."""
+    """JSON-serializable record of one drift sweep, with timing statistics.
+
+    ``means``/``stds``/``trial_scores`` carry the primary score per σ (the
+    accuracy track plotted in Figs. 2–3).  When the engine's ``evaluate_fn``
+    also reports a loss, ``loss_means``/``loss_stds``/``trial_losses`` carry
+    the Eq.-3 loss track; they are empty lists otherwise.
+    """
 
     label: str
     sigmas: list = field(default_factory=list)
     means: list = field(default_factory=list)
     stds: list = field(default_factory=list)
     trial_scores: list = field(default_factory=list)  # per-σ list of per-trial scores
+    loss_means: list = field(default_factory=list)    # empty unless losses tracked
+    loss_stds: list = field(default_factory=list)
+    trial_losses: list = field(default_factory=list)  # per-σ list of per-trial losses
     trials: int = 0
     workers: int = 1          # worker processes actually used (1 = serial)
     backend: str = "serial"   # "serial" or "process"
     fallback_reason: str = ""  # why a requested parallel run degraded to serial
     n_evaluations: int = 0    # model evaluations actually run (after caching)
     cache_hits: int = 0       # trials answered from the inference cache
+    max_chunk_trials: int | None = None  # chunk bound the sweep ran with
+    peak_resident_trials: int = 0  # most weight copies materialised at once
     elapsed_seconds: float = 0.0
     per_sigma_seconds: list = field(default_factory=list)  # summed eval time per σ
 
@@ -124,10 +164,15 @@ class SweepReport:
             "label": self.label, "sigmas": list(self.sigmas),
             "means": list(self.means), "stds": list(self.stds),
             "trial_scores": [list(scores) for scores in self.trial_scores],
+            "loss_means": list(self.loss_means),
+            "loss_stds": list(self.loss_stds),
+            "trial_losses": [list(losses) for losses in self.trial_losses],
             "trials": self.trials, "workers": self.workers,
             "backend": self.backend, "fallback_reason": self.fallback_reason,
             "n_evaluations": self.n_evaluations,
             "cache_hits": self.cache_hits,
+            "max_chunk_trials": self.max_chunk_trials,
+            "peak_resident_trials": self.peak_resident_trials,
             "elapsed_seconds": self.elapsed_seconds,
             "per_sigma_seconds": list(self.per_sigma_seconds),
         }
@@ -171,22 +216,49 @@ class DriftSweepEngine:
         worker processes.  Seeded results are bit-identical either way
         because all randomness is pre-drawn in the main process.
     evaluate_fn:
-        ``f(model, data) -> float`` run per trial; must be picklable for the
-        process backend.  Defaults to classification accuracy at
-        ``batch_size``.
+        ``f(model, data) -> float`` or ``f(model, data) -> (score, loss)``,
+        run per trial; must be picklable for the process backend.  Defaults
+        to classification accuracy at ``batch_size``.  When it returns a
+        ``(score, loss)`` pair the report additionally carries the per-trial
+        loss track (``loss_means``/``trial_losses``).
     cache:
         Skip re-evaluating trials whose drifted weights are bit-identical to
         an already-evaluated trial (every σ=0 trial hits this).
+    shared_cache:
+        Optional caller-owned ``dict`` mapping weight digests to
+        ``(score, loss)``; entries found there skip evaluation (counted as
+        cache hits) and newly evaluated trials are written back, so the
+        cache persists across engine runs.  Used by the BayesFT inner
+        objective to reuse evaluations across Bayesian-optimisation trials.
+        Requires ``cache=True`` (content-addressed keys).
+    max_chunk_trials:
+        Upper bound on how many drifted weight copies per parameter are
+        materialised at once (``None`` pre-draws each σ's full trial batch).
+        Results are bit-identical for any value — see
+        :meth:`FaultInjector.plan_trials
+        <repro.fault.injector.FaultInjector.plan_trials>` — so the knob
+        trades only memory against scheduling freedom: chunks of one trial
+        evaluate serially even when ``workers >= 2``.
     """
 
     def __init__(self, model, data, *, trials: int = 5, drift_factory=None,
                  batch_size: int = 256, workers: int = 0, rng=None,
                  skip: Sequence[str] = (), cache: bool = True,
+                 shared_cache: dict | None = None,
+                 max_chunk_trials: int | None = None,
                  evaluate_fn: Callable | None = None):
         if trials < 1:
             raise ValueError("trials must be at least 1")
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        if max_chunk_trials is not None and max_chunk_trials < 1:
+            raise ValueError("max_chunk_trials must be at least 1 (or None)")
+        if shared_cache is not None and not cache:
+            raise ValueError(
+                "shared_cache requires cache=True: with caching disabled the "
+                "trials are keyed by position, not weight content, so reusing "
+                "them across runs would return stale scores for different "
+                "weights")
         if isinstance(drift_factory, DriftModel):
             raise TypeError(
                 "drift_factory must be a callable mapping sigma to a DriftModel "
@@ -202,6 +274,8 @@ class DriftSweepEngine:
         self.rng = get_rng(rng)
         self.skip = tuple(skip)
         self.cache = bool(cache)
+        self.shared_cache = shared_cache
+        self.max_chunk_trials = None if max_chunk_trials is None else int(max_chunk_trials)
         self.evaluate_fn = evaluate_fn or functools.partial(
             classification_accuracy, batch_size=self.batch_size)
 
@@ -222,96 +296,157 @@ class DriftSweepEngine:
         injector = FaultInjector(self.model, LogNormalDrift(0.0),
                                  skip=self.skip, rng=self.rng)
 
-        with injector.multi_trial():
-            # 1. Pre-draw every trial's weights: one vectorized RNG call per
-            #    (σ, parameter).  Consuming the stream here, before any
-            #    evaluation is scheduled, is what makes the sweep
-            #    deterministic for any worker count.
-            trial_params: dict[tuple[int, int], dict] = {}
-            for sigma_index, sigma in enumerate(sigmas):
-                batch = injector.draw_trials(self.trials, self._drift_for(sigma))
-                for trial_index in range(self.trials):
-                    trial_params[(sigma_index, trial_index)] = {
-                        name: arrays[trial_index] for name, arrays in batch.items()}
+        digest_of: dict[tuple[int, int], str] = {}
+        first_key: dict[str, tuple[int, int]] = {}  # digest -> key that evaluated it
+        scores: dict[str, float] = {}
+        losses: dict[str, float | None] = {}
+        eval_seconds: dict[str, float] = {}
+        cache_hits = 0
+        n_evaluations = 0
+        backend = "serial"
+        workers_used = 1
+        fallback_reason = ""
+        pool = None
+        pool_broken = False
+        if self.shared_cache:
+            for digest, (score, loss) in self.shared_cache.items():
+                scores[digest] = score
+                losses[digest] = loss
 
-            # 2. Deduplicate bit-identical trials (the inference cache).
-            digest_of: dict[tuple[int, int], str] = {}
-            pending: dict[str, tuple[int, int]] = {}
-            cache_hits = 0
-            for key in sorted(trial_params):
-                digest = (_weights_digest(trial_params[key]) if self.cache
-                          else f"trial-{key[0]}-{key[1]}")
-                digest_of[key] = digest
-                if digest in pending:
-                    cache_hits += 1
-                else:
-                    pending[digest] = key
+        try:
+            with injector.multi_trial():
+                for sigma_index, sigma in enumerate(sigmas):
+                    # 1. Pre-draw this σ's trials in memory-bounded chunks:
+                    #    one vectorized RNG call per (parameter, chunk), all
+                    #    in the main process.  Consuming the streams here,
+                    #    before any evaluation is scheduled, is what makes
+                    #    the sweep deterministic for any worker count, and
+                    #    the per-parameter streams make it deterministic for
+                    #    any chunk size.
+                    drift = self._drift_for(sigma)
+                    # A drift with no randomness (σ=0) produces `trials`
+                    # bit-identical copies; draw/hash/evaluate it once and
+                    # map every trial onto that digest — the cache would
+                    # have collapsed them anyway, this skips the redundant
+                    # drawing and hashing too.
+                    collapse = (self.cache and isinstance(drift, DriftModel)
+                                and drift.is_deterministic())
+                    draw_count = 1 if collapse else self.trials
+                    plan = injector.plan_trials(draw_count, drift,
+                                                max_chunk=self.max_chunk_trials)
+                    trial_index = 0
+                    for count, chunk in plan:
+                        # 2. Deduplicate against everything evaluated so far
+                        #    (the inference cache, including shared entries).
+                        pending: dict[str, dict] = {}
+                        for offset in range(count):
+                            key = (sigma_index, trial_index + offset)
+                            params = {name: arrays[offset]
+                                      for name, arrays in chunk.items()}
+                            digest = (_weights_digest(params) if self.cache
+                                      else f"trial-{key[0]}-{key[1]}")
+                            digest_of[key] = digest
+                            if digest in scores or digest in pending:
+                                cache_hits += 1
+                            else:
+                                pending[digest] = params
+                                first_key[digest] = key
+                        if not pending:
+                            trial_index += count
+                            continue
 
-            # 3. Evaluate each unique weight set, in parallel when asked.
-            scores: dict[str, float] = {}
-            eval_seconds: dict[str, float] = {}
-            backend = "serial"
-            workers_used = 1
-            fallback_reason = ""
-            if self.workers >= 2 and len(pending) > 1:
-                backend, workers_used, fallback_reason = self._run_parallel(
-                    pending, trial_params, scores, eval_seconds)
-            for digest, key in pending.items():
-                if digest in scores:
-                    continue
-                injector.apply_trial(trial_params[key])
-                t0 = time.perf_counter()
-                scores[digest] = float(self.evaluate_fn(self.model, self.data))
-                eval_seconds[digest] = time.perf_counter() - t0
+                        # 3. Evaluate this chunk's unique weight sets, in
+                        #    parallel when asked and worthwhile.
+                        if (self.workers >= 2 and not pool_broken
+                                and len(pending) > 1):
+                            try:
+                                if pool is None:
+                                    pool = self._make_pool(
+                                        min(self.workers, len(pending)))
+                                futures = [pool.submit(_run_trial, digest, params)
+                                           for digest, params in pending.items()]
+                                for future in futures:
+                                    digest, score, loss, seconds = future.result()
+                                    scores[digest] = score
+                                    losses[digest] = loss
+                                    eval_seconds[digest] = seconds
+                                    n_evaluations += 1
+                                backend = "process"
+                                workers_used = pool._max_workers
+                            except Exception as error:
+                                pool_broken = True
+                                fallback_reason = f"{type(error).__name__}: {error}"
+                                warnings.warn(
+                                    f"parallel sweep fell back to serial "
+                                    f"evaluation ({fallback_reason})",
+                                    RuntimeWarning, stacklevel=2)
+                        for digest, params in pending.items():
+                            if digest in scores:
+                                continue
+                            injector.apply_trial(params)
+                            t0 = time.perf_counter()
+                            value = self.evaluate_fn(self.model, self.data)
+                            scores[digest], losses[digest] = _split_metrics(value)
+                            eval_seconds[digest] = time.perf_counter() - t0
+                            n_evaluations += 1
+                        trial_index += count
+                    if collapse:
+                        digest = digest_of[(sigma_index, 0)]
+                        for extra in range(1, self.trials):
+                            digest_of[(sigma_index, extra)] = digest
+                            cache_hits += 1
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        if self.shared_cache is not None:
+            for digest in first_key:
+                self.shared_cache[digest] = (scores[digest], losses[digest])
 
         # 4. Stream per-trial scores into the aggregate curve/report.
+        has_losses = all(losses[digest] is not None for digest in digest_of.values())
         report = SweepReport(label=label, trials=self.trials,
                              workers=workers_used, backend=backend,
                              fallback_reason=fallback_reason,
-                             n_evaluations=len(pending), cache_hits=cache_hits)
+                             n_evaluations=n_evaluations, cache_hits=cache_hits,
+                             max_chunk_trials=self.max_chunk_trials,
+                             peak_resident_trials=injector.peak_resident_trials)
         for sigma_index, sigma in enumerate(sigmas):
             per_trial = [scores[digest_of[(sigma_index, trial_index)]]
                          for trial_index in range(self.trials)]
             seconds = sum(eval_seconds.get(digest, 0.0)
-                          for digest, key in pending.items() if key[0] == sigma_index)
+                          for digest, key in first_key.items()
+                          if key[0] == sigma_index)
             report.sigmas.append(sigma)
             report.means.append(float(np.mean(per_trial)))
             report.stds.append(float(np.std(per_trial)))
             report.trial_scores.append(per_trial)
             report.per_sigma_seconds.append(round(seconds, 6))
+            if has_losses:
+                per_loss = [losses[digest_of[(sigma_index, trial_index)]]
+                            for trial_index in range(self.trials)]
+                report.loss_means.append(float(np.mean(per_loss)))
+                report.loss_stds.append(float(np.std(per_loss)))
+                report.trial_losses.append(per_loss)
         report.elapsed_seconds = round(time.perf_counter() - start, 6)
         return report
 
     # ------------------------------------------------------------------ #
-    def _run_parallel(self, pending, trial_params, scores, eval_seconds
-                      ) -> tuple[str, int, str]:
-        """Evaluate ``pending`` trials in worker processes.
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        """One worker pool per run, reused across chunks and σ grid points.
 
-        Fills ``scores``/``eval_seconds`` in place; any failure (pool setup,
-        pickling, a dead worker) leaves the remaining trials for the serial
-        fallback loop in :meth:`run` and is surfaced through a warning plus
-        ``SweepReport.fallback_reason``.  Returns ``(backend, workers_used,
-        fallback_reason)``.
+        ``workers`` is capped by the first parallel chunk's unique-trial
+        count, so no process is forked (and pays the model/data initializer
+        cost) without work to do.  Workers receive the clean model/data once
+        via the pool initializer; each task ships only one trial's drifted
+        arrays.  Any pool failure (setup, pickling, a dead worker) is caught
+        at the submit site in :meth:`run`, which falls back to serial
+        evaluation for the remaining trials and records
+        ``SweepReport.fallback_reason``.
         """
-        workers = min(self.workers, len(pending))
-        try:
-            context = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods() else None)
-            with ProcessPoolExecutor(
-                    max_workers=workers, mp_context=context,
-                    initializer=_init_worker,
-                    initargs=(self.model, self.data, self.evaluate_fn)) as pool:
-                futures = [pool.submit(_run_trial, digest, trial_params[key])
-                           for digest, key in pending.items()]
-                for future in futures:
-                    digest, score, seconds = future.result()
-                    scores[digest] = score
-                    eval_seconds[digest] = seconds
-            return "process", workers, ""
-        except Exception as error:
-            scores.clear()
-            eval_seconds.clear()
-            reason = f"{type(error).__name__}: {error}"
-            warnings.warn(f"parallel sweep fell back to serial evaluation "
-                          f"({reason})", RuntimeWarning, stacklevel=3)
-            return "serial", 1, reason
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None)
+        return ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_init_worker,
+            initargs=(self.model, self.data, self.evaluate_fn))

@@ -47,10 +47,12 @@ def _train_and_sweep(model, train_set, test_set, label, config, rng) -> Robustne
     # Common random numbers: every variant is evaluated with the same drift
     # samples, so the comparison between curves is paired and low-variance.
     # (The engine pre-draws all samples, so this also holds for any worker
-    # count — see config.extra["sweep_workers"].)
+    # count or chunk size — see config.extra["sweep_workers"] and
+    # config.extra["sweep_chunk_trials"].)
     evaluation_rng = np.random.default_rng(config.seed + 99991)
     engine = DriftSweepEngine(model, test_set, trials=config.drift_trials,
                               workers=int(config.extra.get("sweep_workers", 0)),
+                              max_chunk_trials=config.extra.get("sweep_chunk_trials"),
                               rng=evaluation_rng)
     return engine.run(config.sigma_grid, label=label).curve()
 

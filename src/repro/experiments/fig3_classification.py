@@ -123,10 +123,12 @@ def run_classification_comparison(panel: str, config: ExperimentConfig | None = 
         # Common random numbers across methods: every method's sweep sees the
         # same drift samples, making the Figure-3 comparison paired.  The
         # engine pre-draws all samples in the main process, so the pairing is
-        # preserved for any sweep_workers setting.
+        # preserved for any sweep_workers or sweep_chunk_trials setting (the
+        # latter bounds memory for the deep PreAct panels).
         evaluation_rng = np.random.default_rng(seed + 77771)
         engine = DriftSweepEngine(model, test_set, trials=config.drift_trials,
                                   workers=int(config.extra.get("sweep_workers", 0)),
+                                  max_chunk_trials=config.extra.get("sweep_chunk_trials"),
                                   rng=evaluation_rng)
         reports.append(engine.run(config.sigma_grid, label=label))
         curves.append(reports[-1].curve())

@@ -46,6 +46,7 @@ def run_detection_comparison(config: ExperimentConfig | None = None, seed: int =
     train_samples, test_samples = dataset.split(test_fraction=0.3, rng=rng)
     detector_epochs = int(config.extra.get("detector_epochs", max(4, config.epochs * 2)))
     sweep_workers = int(config.extra.get("sweep_workers", 0))
+    sweep_chunk_trials = config.extra.get("sweep_chunk_trials")
 
     # ------------------------------------------------------------------ #
     # ERM detector: plain training, no drift-awareness.
@@ -54,7 +55,8 @@ def run_detection_comparison(config: ExperimentConfig | None = None, seed: int =
                    learning_rate=0.01, rng=rng)
     erm_curve = map_under_drift(erm_detector, test_samples, sigmas,
                                 trials=config.drift_trials, rng=rng,
-                                workers=sweep_workers)
+                                workers=sweep_workers,
+                                max_chunk_trials=sweep_chunk_trials)
     erm_curve["label"] = "ERM"
 
     # ------------------------------------------------------------------ #
@@ -83,7 +85,8 @@ def run_detection_comparison(config: ExperimentConfig | None = None, seed: int =
     space.apply(best_alpha)
     bayesft_curve = map_under_drift(bayesft_detector, test_samples, sigmas,
                                     trials=config.drift_trials, rng=rng,
-                                    workers=sweep_workers)
+                                    workers=sweep_workers,
+                                    max_chunk_trials=sweep_chunk_trials)
     bayesft_curve["label"] = "BayesFT"
 
     return {

@@ -37,6 +37,17 @@ class DriftModel:
         whole array) keep the default implementation, which stacks ``n``
         :meth:`perturb` calls and therefore draws the identical random
         stream.
+
+        **Stream contract** — implementations must consume the generator in
+        trial-major order (trial ``i``'s numbers before trial ``i+1``'s), so
+        that ``sample_batch(w, a, rng)`` followed by ``sample_batch(w, b,
+        rng)`` draws exactly the trials ``sample_batch(w, a + b, rng)``
+        would.  Vectorized draws of shape ``(n,) + weights.shape`` satisfy
+        this automatically (numpy fills arrays from the stream in C order),
+        as does stacking sequential ``perturb`` calls.  The chunked
+        pre-drawing in :meth:`FaultInjector.plan_trials
+        <repro.fault.injector.FaultInjector.plan_trials>` relies on this to
+        keep sweeps bit-identical for any chunk size.
         """
         if n < 1:
             raise ValueError("n must be at least 1")
@@ -49,6 +60,16 @@ class DriftModel:
 
     def __call__(self, weights: np.ndarray, rng=None) -> np.ndarray:
         return self.perturb(np.asarray(weights, dtype=np.float64), get_rng(rng))
+
+    def is_deterministic(self) -> bool:
+        """True when every trial is bit-identical (no randomness is drawn).
+
+        A σ=0 drift, for instance, maps weights to themselves.  The sweep
+        engine uses this to draw, hash and evaluate such a grid point once
+        instead of ``trials`` times; the answer is unchanged because the
+        trials would have deduplicated to one evaluation anyway.
+        """
+        return False
 
     def expected_relative_error(self) -> float:
         """Analytic (or approximate) expected relative weight error, if known."""
@@ -95,6 +116,9 @@ class LogNormalDrift(DriftModel):
         return float(2 * norm.cdf(sigma / 2) - 1
                      + np.exp(sigma ** 2 / 2) * (2 * norm.cdf(sigma / 2) - 1))
 
+    def is_deterministic(self) -> bool:
+        return self.sigma == 0.0
+
     def __repr__(self) -> str:
         return f"LogNormalDrift(sigma={self.sigma})"
 
@@ -126,6 +150,9 @@ class GaussianDrift(DriftModel):
         scale = np.abs(weights)[None] if self.relative else 1.0
         return weights[None] + scale * noise
 
+    def is_deterministic(self) -> bool:
+        return self.sigma == 0.0
+
     def __repr__(self) -> str:
         return f"GaussianDrift(sigma={self.sigma}, relative={self.relative})"
 
@@ -151,6 +178,9 @@ class UniformDrift(DriftModel):
         factor = 1.0 + rng.uniform(-self.amplitude, self.amplitude,
                                    size=(n,) + weights.shape)
         return weights[None] * factor
+
+    def is_deterministic(self) -> bool:
+        return self.amplitude == 0.0
 
     def __repr__(self) -> str:
         return f"UniformDrift(amplitude={self.amplitude})"
@@ -185,6 +215,9 @@ class StuckAtFault(DriftModel):
         mask = rng.random((n,) + weights.shape) < self.probability
         drifted[mask] = self.stuck_value
         return drifted
+
+    def is_deterministic(self) -> bool:
+        return self.probability == 0.0
 
     def __repr__(self) -> str:
         return f"StuckAtFault(probability={self.probability}, stuck_value={self.stuck_value})"
@@ -223,6 +256,9 @@ class BitFlipFault(DriftModel):
         corrupted = (as_int ^ flips) - levels
         return corrupted.astype(np.float64) / levels * max_abs
 
+    def is_deterministic(self) -> bool:
+        return self.flip_probability == 0.0
+
     def __repr__(self) -> str:
         return f"BitFlipFault(flip_probability={self.flip_probability}, bits={self.bits})"
 
@@ -240,6 +276,9 @@ class CompositeFault(DriftModel):
         for model in self.models:
             drifted = model.perturb(np.asarray(drifted, dtype=np.float64), rng)
         return drifted
+
+    def is_deterministic(self) -> bool:
+        return all(model.is_deterministic() for model in self.models)
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(m) for m in self.models)

@@ -49,6 +49,20 @@ class FaultInjector:
         self.skip = tuple(skip)
         self.rng = get_rng(rng)
         self._snapshot: dict[str, np.ndarray] | None = None
+        #: Largest number of drifted weight copies per parameter that
+        #: :meth:`plan_trials` has materialised at once — the bookkeeping the
+        #: chunked pre-drawing tests assert against.
+        self.peak_resident_trials = 0
+
+    @property
+    def clean_parameters(self) -> dict[str, np.ndarray]:
+        """The snapshotted clean parameter arrays (read-only view).
+
+        Raises if no snapshot has been taken yet.
+        """
+        if self._snapshot is None:
+            raise RuntimeError("snapshot() (or multi_trial()) has not run yet")
+        return self._snapshot
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> None:
@@ -114,23 +128,76 @@ class FaultInjector:
         this draw (used by σ-sweeps where each grid point has its own model).
         Parameters skipped by ``skip`` or the policy are absent from the
         result and stay clean under :meth:`apply_trial`.
+
+        Equivalent to consuming :meth:`plan_trials` with an unbounded chunk
+        size, so all ``n`` copies are materialised at once; large models
+        should iterate :meth:`plan_trials` with ``max_chunk`` instead.
+        """
+        batch: dict[str, np.ndarray] = {}
+        for _, chunk in self.plan_trials(n, drift):
+            batch = chunk
+        return batch
+
+    def plan_trials(self, n: int, drift: DriftModel | LayerFaultPolicy | None = None,
+                    max_chunk: int | None = None):
+        """Pre-draw ``n`` trials in memory-bounded chunks.
+
+        Yields ``(count, batch)`` pairs where ``batch`` maps each faultable
+        parameter name to a ``(count,) + shape`` array of drifted copies and
+        the counts sum to ``n``.  At most ``max_chunk`` copies per parameter
+        are materialised at once (``None`` draws everything in one chunk), so
+        PreAct-ResNet-depth models can sweep without holding
+        ``trials × |σ-grid|`` full weight sets in memory.
+
+        **Determinism contract** — each parameter draws from its own child
+        generator, spawned deterministically from ``self.rng`` when the plan
+        is created.  Because every :class:`DriftModel` consumes its RNG in
+        trial-major order, splitting ``n`` draws across sequential
+        ``sample_batch`` calls on one stream reproduces the single-call
+        stream exactly; together these make the drawn trials bit-identical
+        for *any* ``max_chunk``.  The injector records the largest chunk it
+        materialised in :attr:`peak_resident_trials`.
         """
         if n < 1:
             raise ValueError("n must be at least 1")
+        if max_chunk is not None and max_chunk < 1:
+            raise ValueError("max_chunk must be at least 1 (or None for unbounded)")
         policy = self.policy
         if drift is not None:
             policy = UniformPolicy(drift) if isinstance(drift, DriftModel) else drift
         if self._snapshot is None:
             self.snapshot()
-        batch: dict[str, np.ndarray] = {}
-        for name in self._snapshot:
-            if any(token in name for token in self.skip):
-                continue
-            model = policy.model_for(name)
-            if model is None:
-                continue
-            batch[name] = model.sample_batch(self._snapshot[name], n, self.rng)
-        return batch
+        names = [name for name in self._snapshot
+                 if not any(token in name for token in self.skip)
+                 and policy.model_for(name) is not None]
+        streams = self._spawn_streams(len(names))
+        chunk_size = n if max_chunk is None else min(int(max_chunk), n)
+
+        def _iterate():
+            drawn = 0
+            while drawn < n:
+                count = min(chunk_size, n - drawn)
+                batch = {name: policy.model_for(name).sample_batch(
+                             self._snapshot[name], count, stream)
+                         for name, stream in zip(names, streams)}
+                self.peak_resident_trials = max(self.peak_resident_trials, count)
+                drawn += count
+                yield count, batch
+
+        return _iterate()
+
+    def _spawn_streams(self, count: int) -> list[np.random.Generator]:
+        """Deterministic independent child generators, one per parameter."""
+        if count == 0:
+            return []
+        try:
+            return list(self.rng.spawn(count))
+        except (AttributeError, TypeError):
+            # Generators without a seed sequence (or pre-spawn numpy) fall
+            # back to stream-derived seeds; still deterministic and still
+            # chunk-invariant because the seeds are drawn once per plan.
+            seeds = self.rng.integers(0, 2 ** 63 - 1, size=count)
+            return [np.random.default_rng(int(seed)) for seed in seeds]
 
     def apply_trial(self, drifted: dict[str, np.ndarray]) -> None:
         """Overwrite parameters with one pre-drawn trial's arrays.

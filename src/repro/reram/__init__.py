@@ -13,11 +13,11 @@ derives an Eq.-(1) σ from device parameters — and (b) provide an end-to-end
 from .device import DeviceConfig, DeviceVariationModel
 from .conductance import ConductanceMapper
 from .crossbar import Crossbar, CrossbarArray
-from .deploy import ReRAMLinear, deploy_on_reram
+from .deploy import ReRAMLinear, CrossbarRealization, DeploymentReport, deploy_on_reram
 
 __all__ = [
     "DeviceConfig", "DeviceVariationModel",
     "ConductanceMapper",
     "Crossbar", "CrossbarArray",
-    "ReRAMLinear", "deploy_on_reram",
+    "ReRAMLinear", "CrossbarRealization", "DeploymentReport", "deploy_on_reram",
 ]

@@ -52,6 +52,21 @@ class Crossbar:
         """Analog matrix-vector product ``W_effective @ v``."""
         return self.effective_weights(read_noise=read_noise) @ np.asarray(voltage, dtype=np.float64)
 
+    def matmat(self, voltages: np.ndarray, read_noise: bool = True) -> np.ndarray:
+        """Batched analog product: ``voltages @ W_effectiveᵀ``.
+
+        ``voltages`` has shape ``(batch, cols)``; the result has shape
+        ``(batch, rows)``.  With ``read_noise`` enabled, one noise
+        realisation is drawn for the whole batched read (a single analog
+        read cycle), whereas per-row :meth:`matvec` calls draw fresh noise
+        for every vector.  With ``read_noise=False`` the result is exactly
+        the row-stack of :meth:`matvec` outputs.
+        """
+        voltages = np.asarray(voltages, dtype=np.float64)
+        if voltages.ndim != 2:
+            raise ValueError("matmat expects a (batch, cols) voltage matrix")
+        return voltages @ self.effective_weights(read_noise=read_noise).T
+
     def weight_error(self) -> float:
         """Mean absolute relative deviation of realised vs ideal weights."""
         denom = np.maximum(np.abs(self.ideal_weights), 1e-12)
@@ -107,4 +122,32 @@ class CrossbarArray:
                 col_end = min(col_start + self.tile_cols, self.shape[1])
                 accum += tile.matvec(voltage[col_start:col_end], read_noise=read_noise)
             result[row_start:row_start + accum.shape[0]] = accum
+        return result
+
+    def matmat(self, voltages: np.ndarray, read_noise: bool = True) -> np.ndarray:
+        """Batched matrix product over all tiles: ``voltages @ Wᵀ``.
+
+        ``voltages`` has shape ``(batch, cols)``; each tile computes its
+        whole batch in one dense matmul instead of ``batch`` separate
+        :meth:`matvec` calls, which is what makes
+        :class:`~repro.reram.deploy.ReRAMLinear` batch-scalable.  Noise
+        semantics match :meth:`Crossbar.matmat`: one read-noise realisation
+        per tile per batched read; with ``read_noise=False`` the result is
+        exactly the row-stack of per-row :meth:`matvec` outputs.
+        """
+        voltages = np.asarray(voltages, dtype=np.float64)
+        if voltages.ndim != 2 or voltages.shape[1] != self.shape[1]:
+            raise ValueError("voltages must have shape (batch, cols) with "
+                             f"cols == {self.shape[1]}")
+        result = np.zeros((voltages.shape[0], self.shape[0]))
+        for r_index, row_tiles in enumerate(self.tiles):
+            row_start = r_index * self.tile_rows
+            rows_here = min(self.tile_rows, self.shape[0] - row_start)
+            accum = np.zeros((voltages.shape[0], rows_here))
+            for c_index, tile in enumerate(row_tiles):
+                col_start = c_index * self.tile_cols
+                col_end = min(col_start + self.tile_cols, self.shape[1])
+                accum += tile.matmat(voltages[:, col_start:col_end],
+                                     read_noise=read_noise)
+            result[:, row_start:row_start + rows_here] = accum
         return result

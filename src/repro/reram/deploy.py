@@ -5,20 +5,37 @@ weights a crossbar array would actually realise (programming error, process
 variation, retention drift), giving an end-to-end hardware-in-the-loop
 evaluation path that complements the purely statistical Eq. (1) drift used
 in the paper's figures.
+
+The per-parameter perturbation is expressed as a
+:class:`~repro.fault.drift.DriftModel` (:class:`CrossbarRealization`) and
+applied through the :class:`~repro.fault.injector.FaultInjector` snapshot
+machinery (``snapshot`` → ``draw_trials`` → ``apply_trial``) — the same
+trial plumbing the :class:`~repro.evaluation.sweep.DriftSweepEngine` uses —
+rather than a private mutation loop.  Deployment intentionally leaves the
+realised weights in place (that *is* the deployment), so the
+``multi_trial`` context manager, which restores on exit, is not used; the
+returned :class:`DeploymentReport` records what the hardware did to every
+parameter.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from dataclasses import dataclass, field
+
 import numpy as np
 
+from ..fault.drift import DriftModel
+from ..fault.injector import FaultInjector
 from ..nn.module import Module
 from ..nn.layers import Linear
 from ..nn.tensor import Tensor
 from ..utils.rng import get_rng
 from .crossbar import CrossbarArray
-from .device import DeviceConfig
+from .device import DeviceConfig, DeviceVariationModel
 
-__all__ = ["ReRAMLinear", "deploy_on_reram"]
+__all__ = ["ReRAMLinear", "CrossbarRealization", "DeploymentReport", "deploy_on_reram"]
 
 
 class ReRAMLinear(Module):
@@ -26,7 +43,9 @@ class ReRAMLinear(Module):
 
     Inference only (the crossbar holds fixed programmed weights); used in the
     hardware-deployment example to show activation-level noise rather than
-    the weight-level abstraction.
+    the weight-level abstraction.  Batches are computed with one dense
+    :meth:`~repro.reram.crossbar.CrossbarArray.matmat` per tile (one analog
+    read cycle per batch), not a per-row ``matvec`` loop.
     """
 
     def __init__(self, linear: Linear, config: DeviceConfig | None = None,
@@ -41,7 +60,7 @@ class ReRAMLinear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         inputs = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
-        outputs = np.stack([self.array.matvec(row) for row in inputs])
+        outputs = self.array.matmat(inputs)
         if self.bias is not None:
             outputs = outputs + self.bias
         return Tensor(outputs)
@@ -51,35 +70,156 @@ class ReRAMLinear(Module):
                 f"out_features={self.out_features}, tiles={self.array.num_tiles})")
 
 
+class CrossbarRealization(DriftModel):
+    """The crossbar's weight realisation expressed as a :class:`DriftModel`.
+
+    ``perturb`` maps a clean parameter array to the weights simulated ReRAM
+    hardware would actually hold: 2-D-or-higher parameters are flattened to
+    a matrix, programmed onto a tiled :class:`CrossbarArray` (differential
+    conductance pairs, programming error, process variation, retention
+    drift) and read back; 1-D parameters (biases, norm affine parameters)
+    are perturbed with the device model's equivalent log-normal factor,
+    matching how they would be stored in peripheral ReRAM cells.
+
+    Expressing deployment as a drift model means the generic
+    :class:`~repro.fault.injector.FaultInjector` machinery — snapshots,
+    pre-drawn trials, per-layer policies, sweep engines — applies to the
+    hardware path unchanged.
+    """
+
+    def __init__(self, config: DeviceConfig | None = None,
+                 deployment_time: float = 1.0,
+                 tile_rows: int = 128, tile_cols: int = 128):
+        self.config = config or DeviceConfig()
+        self.deployment_time = float(deployment_time)
+        self.tile_rows = int(tile_rows)
+        self.tile_cols = int(tile_cols)
+        #: Crossbar tiles programmed so far (bookkeeping for reports).
+        self.tiles_programmed = 0
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if weights.ndim >= 2:
+            matrix = weights.reshape(weights.shape[0], -1)
+            array = CrossbarArray(matrix, tile_rows=self.tile_rows,
+                                  tile_cols=self.tile_cols, config=self.config,
+                                  deployment_time=self.deployment_time, rng=rng)
+            self.tiles_programmed += array.num_tiles
+            return array.effective_weights().reshape(weights.shape)
+        variation = DeviceVariationModel(self.config, self.deployment_time, rng=rng)
+        return weights * variation.sample_log_factors(weights.shape)
+
+    def __repr__(self) -> str:
+        return (f"CrossbarRealization(deployment_time={self.deployment_time}, "
+                f"tiles={self.tile_rows}x{self.tile_cols})")
+
+
+@dataclass
+class DeploymentReport:
+    """SweepReport-style, JSON-serializable record of one hardware deployment.
+
+    Iterating (or calling ``keys``/``values``/``items``/``[]``) walks the
+    per-parameter relative errors, so the report is a drop-in replacement
+    for the plain ``{name: error}`` dict earlier revisions returned.
+    """
+
+    label: str
+    parameter_errors: dict = field(default_factory=dict)  # name -> mean |Δw|/|w|
+    deployment_time: float = 0.0
+    equivalent_sigma: float = 0.0   # Eq.-1 σ implied by the device physics
+    crossbar_tiles: int = 0         # tiles programmed across all parameters
+    n_parameters: int = 0           # parameter arrays deployed
+    elapsed_seconds: float = 0.0
+
+    def mean_relative_error(self) -> float:
+        """Mean of the per-parameter relative errors (0.0 when empty)."""
+        if not self.parameter_errors:
+            return 0.0
+        return float(np.mean(list(self.parameter_errors.values())))
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "parameter_errors": dict(self.parameter_errors),
+            "deployment_time": self.deployment_time,
+            "equivalent_sigma": self.equivalent_sigma,
+            "crossbar_tiles": self.crossbar_tiles,
+            "n_parameters": self.n_parameters,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentReport":
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeploymentReport":
+        return cls.from_dict(json.loads(text))
+
+    # Mapping-style access to the per-parameter errors (backwards compatible
+    # with the dict this function used to return).
+    def __iter__(self):
+        return iter(self.parameter_errors)
+
+    def __getitem__(self, name: str) -> float:
+        return self.parameter_errors[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.parameter_errors
+
+    def __len__(self) -> int:
+        return len(self.parameter_errors)
+
+    def keys(self):
+        return self.parameter_errors.keys()
+
+    def values(self):
+        return self.parameter_errors.values()
+
+    def items(self):
+        return self.parameter_errors.items()
+
+
 def deploy_on_reram(model: Module, config: DeviceConfig | None = None,
-                    deployment_time: float = 1.0, rng=None) -> dict[str, float]:
+                    deployment_time: float = 1.0, rng=None,
+                    tile_rows: int = 128, tile_cols: int = 128) -> DeploymentReport:
     """Overwrite ``model``'s parameters with crossbar-realised values.
 
-    Every 2-D-or-higher parameter is flattened to a matrix, programmed onto a
-    :class:`CrossbarArray`, and replaced by the effective weights the array
-    realises.  1-D parameters (biases, norm affine parameters) are perturbed
-    with the device model's equivalent log-normal factor, matching how they
-    would be stored in peripheral ReRAM cells.
+    The realisation is drawn as one :meth:`FaultInjector.draw_trials` trial
+    of a :class:`CrossbarRealization` drift model and written with
+    :meth:`FaultInjector.apply_trial`, so the hardware path shares the
+    snapshot/trial machinery (and determinism guarantees) of the drift
+    sweeps.  The realised weights are left in place; the injector's clean
+    snapshot is used only to measure the per-parameter error.
 
-    Returns a report mapping parameter names to their realised mean relative
-    error, so callers (and tests) can verify the deployment actually
-    perturbed the weights.
+    Returns a :class:`DeploymentReport` with the per-parameter mean relative
+    errors, the device model's equivalent Eq.-1 σ and crossbar bookkeeping,
+    so callers (and tests) can verify the deployment actually perturbed the
+    weights.
     """
+    start = time.perf_counter()
     config = config or DeviceConfig()
-    rng = get_rng(rng)
-    report: dict[str, float] = {}
-    from .device import DeviceVariationModel
-    variation = DeviceVariationModel(config, deployment_time, rng=rng)
+    realization = CrossbarRealization(config, deployment_time,
+                                      tile_rows=tile_rows, tile_cols=tile_cols)
+    injector = FaultInjector(model, realization, rng=get_rng(rng))
+    injector.snapshot()
+    trial = injector.draw_trials(1)
+    injector.apply_trial({name: arrays[0] for name, arrays in trial.items()})
+
+    errors: dict[str, float] = {}
+    clean = injector.clean_parameters
     for name, parameter in model.named_parameters():
-        clean = parameter.data.copy()
-        if clean.ndim >= 2:
-            matrix = clean.reshape(clean.shape[0], -1)
-            array = CrossbarArray(matrix, config=config,
-                                  deployment_time=deployment_time, rng=rng)
-            realised = array.effective_weights().reshape(clean.shape)
-        else:
-            realised = clean * variation.sample_log_factors(clean.shape)
-        denom = np.maximum(np.abs(clean), 1e-12)
-        report[name] = float(np.mean(np.abs(realised - clean) / denom))
-        parameter.data = realised
-    return report
+        denom = np.maximum(np.abs(clean[name]), 1e-12)
+        errors[name] = float(np.mean(np.abs(parameter.data - clean[name]) / denom))
+
+    return DeploymentReport(
+        label=type(model).__name__,
+        parameter_errors=errors,
+        deployment_time=float(deployment_time),
+        equivalent_sigma=DeviceVariationModel(config, deployment_time).effective_sigma(),
+        crossbar_tiles=realization.tiles_programmed,
+        n_parameters=len(errors),
+        elapsed_seconds=round(time.perf_counter() - start, 6),
+    )

@@ -170,6 +170,74 @@ class TestBayesFTSearch:
             search.run(n_trials=0)
 
 
+class TestObjectiveThroughEngine:
+    """The inner Monte-Carlo objective is routed through DriftSweepEngine."""
+
+    def _search(self, train_set, **kwargs):
+        model = build_mlp(256, depth=3, width=16, num_classes=10, rng=5)
+        searcher = BayesFT(sigma=0.7, n_trials=3, epochs_per_trial=1,
+                           monte_carlo_samples=2, learning_rate=0.1, rng=5,
+                           **kwargs)
+        result = searcher.fit(model, train_set)
+        return result
+
+    def test_search_bit_identical_for_any_workers_and_chunks(self, small_split):
+        """The acceptance contract: seeded BO results don't depend on how the
+        inner sweep is scheduled (serial vs 2 workers, any chunk size)."""
+        train_set, _ = small_split
+        baseline = self._search(train_set)
+        for kwargs in ({"sweep_workers": 2}, {"max_chunk_trials": 1},
+                       {"max_chunk_trials": 2, "sweep_workers": 2}):
+            variant = self._search(train_set, **kwargs)
+            assert variant.trial_objectives == baseline.trial_objectives
+            assert variant.clean_objectives == baseline.clean_objectives
+            np.testing.assert_array_equal(variant.best_alpha, baseline.best_alpha)
+
+    def test_evaluate_with_clean_caches_sigma_zero_trials(self, small_split):
+        train_set, test_set = small_split
+        model = build_mlp(256, depth=3, width=32, num_classes=10, rng=0)
+        objective = DriftMarginalizedObjective(test_set, sigma=0.8,
+                                               monte_carlo_samples=4, rng=0)
+        value, clean, report = objective.evaluate_with_clean(model)
+        # The 4 clean draws are bit-identical: one evaluation, 3 cache hits.
+        assert report.cache_hits >= 3
+        assert report.n_evaluations == 8 - report.cache_hits
+        assert objective.cache_hits_total == report.cache_hits
+        assert objective.evaluations_total == report.n_evaluations
+        assert np.isfinite(value) and np.isfinite(clean)
+
+    def test_evaluate_with_clean_agrees_with_split_calls(self, small_split):
+        train_set, test_set = small_split
+        model = build_mlp(256, depth=3, width=32, num_classes=10, rng=0)
+        objective = DriftMarginalizedObjective(test_set, sigma=0.0,
+                                               monte_carlo_samples=2,
+                                               metric="accuracy", rng=0)
+        value, clean, _ = objective.evaluate_with_clean(model)
+        # At σ=0 the drifted and clean utilities coincide exactly.
+        assert value == clean == objective.evaluate_clean(model)
+
+    def test_search_result_reports_objective_stats(self, small_split):
+        train_set, _ = small_split
+        result = self._search(train_set)
+        assert result.objective_stats["evaluations"] > 0
+        assert result.objective_stats["cache_hits"] > 0
+
+    def test_neg_loss_metric_uses_engine_loss_track(self, small_split):
+        _, test_set = small_split
+        model = build_mlp(256, depth=3, width=32, num_classes=10, rng=0)
+        objective = DriftMarginalizedObjective(test_set, sigma=0.5,
+                                               monte_carlo_samples=2,
+                                               metric="neg_loss", rng=0)
+        objective.evaluate(model)
+        assert objective.last_report is not None
+        assert len(objective.last_report.trial_losses) == 1
+
+    def test_invalid_sweep_workers_rejected(self, small_split):
+        _, test_set = small_split
+        with pytest.raises(ValueError):
+            DriftMarginalizedObjective(test_set, sweep_workers=-1)
+
+
 class TestBayesFTApi:
     def test_fit_configures_model_dropout(self, small_split):
         train_set, _ = small_split

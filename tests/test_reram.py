@@ -153,6 +153,53 @@ class TestCrossbarArray:
             CrossbarArray(np.zeros((4, 4)), tile_rows=0)
 
 
+class TestBatchedMatmat:
+    def _quiet_array(self, rows=20, cols=33):
+        config = DeviceConfig(programming_sigma=0.005, read_noise_sigma=0.0,
+                              process_variation_sigma=0.005, drift_rate=0.0)
+        weights = np.random.default_rng(0).standard_normal((rows, cols))
+        return CrossbarArray(weights, tile_rows=8, tile_cols=8, config=config,
+                             deployment_time=0.0, rng=0)
+
+    def test_matmat_matches_per_row_matvec(self):
+        """Regression: the batched path must equal the row-by-row loop."""
+        array = self._quiet_array()
+        voltages = np.random.default_rng(1).standard_normal((5, 33))
+        batched = array.matmat(voltages, read_noise=False)
+        per_row = np.stack([array.matvec(row, read_noise=False)
+                            for row in voltages])
+        np.testing.assert_allclose(batched, per_row, rtol=1e-12, atol=1e-12)
+
+    def test_single_crossbar_matmat_matches_matvec(self):
+        weights = np.random.default_rng(0).standard_normal((6, 10))
+        config = DeviceConfig(programming_sigma=0.01, read_noise_sigma=0.0,
+                              process_variation_sigma=0.01, drift_rate=0.0)
+        crossbar = Crossbar(weights, config, deployment_time=0.0, rng=0)
+        voltages = np.random.default_rng(1).standard_normal((4, 10))
+        batched = crossbar.matmat(voltages, read_noise=False)
+        per_row = np.stack([crossbar.matvec(row, read_noise=False)
+                            for row in voltages])
+        np.testing.assert_allclose(batched, per_row, rtol=1e-12, atol=1e-12)
+
+    def test_matmat_rejects_bad_shapes(self):
+        array = self._quiet_array()
+        with pytest.raises(ValueError):
+            array.matmat(np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            Crossbar(np.zeros((4, 6)), rng=0).matmat(np.zeros(6))
+
+    def test_reram_linear_uses_batched_path(self):
+        linear = nn.Linear(12, 6, rng=0)
+        config = DeviceConfig(programming_sigma=0.01, read_noise_sigma=0.0,
+                              process_variation_sigma=0.01, drift_rate=0.0)
+        hardware = ReRAMLinear(linear, config=config, deployment_time=0.0, rng=0)
+        x = np.random.default_rng(1).standard_normal((4, 12))
+        batched = hardware(nn.Tensor(x)).data
+        per_row = np.stack([hardware.array.matvec(row, read_noise=False)
+                            for row in x]) + hardware.bias
+        np.testing.assert_allclose(batched, per_row, rtol=1e-12, atol=1e-12)
+
+
 class TestDeployment:
     def test_reram_linear_matches_clean_linear_approximately(self):
         linear = nn.Linear(12, 6, rng=0)
@@ -173,3 +220,37 @@ class TestDeployment:
                       for name, parameter in model.named_parameters())
         assert changed
         assert all(np.isfinite(value) for value in report.values())
+
+    def test_deployment_report_structure_and_round_trip(self):
+        from repro.reram import DeploymentReport
+        model = build_mlp(16, depth=2, width=8, num_classes=3, rng=0)
+        report = deploy_on_reram(model, deployment_time=2.0, rng=0)
+        assert report.deployment_time == 2.0
+        assert report.equivalent_sigma > 0
+        assert report.crossbar_tiles > 0
+        assert report.n_parameters == len(report.parameter_errors)
+        assert report.mean_relative_error() > 0
+        restored = DeploymentReport.from_json(report.to_json(indent=2))
+        assert restored == report
+
+    def test_deploy_is_seed_reproducible(self):
+        results = []
+        for _ in range(2):
+            model = build_mlp(16, depth=2, width=8, num_classes=3, rng=0)
+            deploy_on_reram(model, rng=3)
+            results.append(model.state_dict())
+        for key in results[0]:
+            np.testing.assert_array_equal(results[0][key], results[1][key])
+
+    def test_crossbar_realization_is_a_drift_model(self):
+        """The hardware path plugs into the generic fault machinery."""
+        from repro.fault.injector import fault_injection
+        from repro.reram import CrossbarRealization
+        model = build_mlp(16, depth=2, width=8, num_classes=3, rng=0)
+        before = model.state_dict()
+        with fault_injection(model, CrossbarRealization(deployment_time=2.0), rng=0):
+            drifted = model.state_dict()
+            assert any(not np.array_equal(before[k], drifted[k]) for k in before)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])

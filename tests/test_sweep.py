@@ -199,6 +199,134 @@ class TestDriftSweepEngine:
         assert all(0.0 <= m <= 1.0 for m in result["means"])
 
 
+def _metrics_eval(model, data):
+    """Module-level (score, loss) evaluation for the loss-track tests."""
+    from repro.evaluation import accuracy
+    score = accuracy(model, data)
+    return score, 1.0 - score
+
+
+@pytest.fixture(scope="module")
+def lenet_setup():
+    from repro.models import LeNet5
+    dataset = SyntheticMNIST(n_samples=96, image_size=16, rng=5)
+    _, test_set = train_test_split(dataset, test_fraction=0.5, rng=5)
+    model = LeNet5(num_classes=10, image_size=16, width=4, rng=5)
+    return model, test_set
+
+
+class TestChunkedPreDrawing:
+    SIGMAS = (0.0, 0.6, 1.2)
+
+    def _run(self, model, test_set, max_chunk_trials):
+        return DriftSweepEngine(model, test_set, trials=3, rng=42,
+                                max_chunk_trials=max_chunk_trials).run(self.SIGMAS)
+
+    def test_chunk_sizes_are_bit_identical(self, lenet_setup):
+        """max_chunk_trials ∈ {1, 3, ∞} draw and score identical trials."""
+        model, test_set = lenet_setup
+        full = self._run(model, test_set, None)
+        for max_chunk in (1, 2, 3):
+            chunked = self._run(model, test_set, max_chunk)
+            assert chunked.means == full.means
+            assert chunked.stds == full.stds
+            assert chunked.trial_scores == full.trial_scores
+            assert chunked.n_evaluations == full.n_evaluations
+            assert chunked.cache_hits == full.cache_hits
+
+    def test_peak_resident_copies_are_bounded(self, lenet_setup):
+        """Injector bookkeeping proves at most max_chunk copies were live."""
+        model, test_set = lenet_setup
+        for max_chunk, expected_peak in ((1, 1), (2, 2), (None, 3)):
+            report = self._run(model, test_set, max_chunk)
+            assert report.max_chunk_trials == max_chunk
+            assert report.peak_resident_trials == expected_peak
+
+    def test_chunking_composes_with_workers(self, lenet_setup):
+        model, test_set = lenet_setup
+        serial = self._run(model, test_set, None)
+        parallel = DriftSweepEngine(model, test_set, trials=3, rng=42, workers=2,
+                                    max_chunk_trials=2).run(self.SIGMAS)
+        assert parallel.trial_scores == serial.trial_scores
+
+    def test_invalid_chunk_rejected(self, lenet_setup):
+        model, test_set = lenet_setup
+        with pytest.raises(ValueError):
+            DriftSweepEngine(model, test_set, max_chunk_trials=0)
+
+
+class TestInjectorPlanTrials:
+    def test_plan_chunks_concatenate_to_full_draw(self, trained):
+        """Splitting the plan into chunks reproduces the one-chunk draw."""
+        model, _ = trained
+        full_injector = FaultInjector(model, LogNormalDrift(0.7), rng=21)
+        with full_injector.multi_trial():
+            (count, full), = list(full_injector.plan_trials(5))
+        assert count == 5
+        chunk_injector = FaultInjector(model, LogNormalDrift(0.7), rng=21)
+        with chunk_injector.multi_trial():
+            pieces = list(chunk_injector.plan_trials(5, max_chunk=2))
+        assert [count for count, _ in pieces] == [2, 2, 1]
+        assert chunk_injector.peak_resident_trials == 2
+        for name, arrays in full.items():
+            rebuilt = np.concatenate([chunk[name] for _, chunk in pieces])
+            np.testing.assert_array_equal(rebuilt, arrays)
+
+    def test_plan_rejects_invalid_arguments(self, trained):
+        model, _ = trained
+        injector = FaultInjector(model, LogNormalDrift(0.5), rng=0)
+        with pytest.raises(ValueError):
+            list(injector.plan_trials(0))
+        with pytest.raises(ValueError):
+            list(injector.plan_trials(3, max_chunk=0))
+
+
+class TestLossTrack:
+    def test_pair_evaluate_fn_fills_loss_track(self, trained):
+        model, test_set = trained
+        report = DriftSweepEngine(model, test_set, trials=2, rng=0,
+                                  evaluate_fn=_metrics_eval).run((0.0, 1.0))
+        assert len(report.loss_means) == 2
+        assert len(report.trial_losses) == 2
+        assert all(len(losses) == 2 for losses in report.trial_losses)
+        # Here loss = 1 - accuracy by construction.
+        for mean, loss_mean in zip(report.means, report.loss_means):
+            assert loss_mean == pytest.approx(1.0 - mean)
+
+    def test_float_evaluate_fn_leaves_loss_track_empty(self, trained):
+        model, test_set = trained
+        report = DriftSweepEngine(model, test_set, trials=2, rng=0).run((0.0,))
+        assert report.loss_means == [] and report.trial_losses == []
+
+    def test_loss_track_survives_json_round_trip(self, trained):
+        model, test_set = trained
+        report = DriftSweepEngine(model, test_set, trials=2, rng=0,
+                                  evaluate_fn=_metrics_eval).run((0.5,))
+        assert SweepReport.from_json(report.to_json()) == report
+
+
+class TestSharedCache:
+    def test_second_run_answers_entirely_from_shared_cache(self, trained):
+        """Identical seeded runs share digests, so run 2 evaluates nothing."""
+        model, test_set = trained
+        cache: dict = {}
+        first = DriftSweepEngine(model, test_set, trials=3, rng=7,
+                                 shared_cache=cache).run((0.0, 0.8))
+        assert first.n_evaluations > 0 and len(cache) == first.n_evaluations
+        second = DriftSweepEngine(model, test_set, trials=3, rng=7,
+                                  shared_cache=cache).run((0.0, 0.8))
+        assert second.n_evaluations == 0
+        assert second.cache_hits == 6
+        assert second.means == first.means
+
+    def test_shared_cache_requires_content_addressed_keys(self, trained):
+        """cache=False keys trials by position; reusing those across runs
+        would silently return stale scores for different weights."""
+        model, test_set = trained
+        with pytest.raises(ValueError, match="shared_cache requires cache=True"):
+            DriftSweepEngine(model, test_set, cache=False, shared_cache={})
+
+
 class TestSweepReportSerialization:
     def test_json_round_trip(self, trained):
         model, test_set = trained
