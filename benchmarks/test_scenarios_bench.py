@@ -1,0 +1,67 @@
+"""Scenario-orchestration bench: the fault matrix, with resume, to JSON.
+
+Runs the built-in ``fault_matrix`` scenario (MLP/MNIST under every
+registered fault model) through :class:`~repro.scenarios.runner.ScenarioRunner`
+twice — a cold run that executes every cell and a resume run that must
+answer entirely from the result store — and writes the machine-readable
+``BENCH_scenarios.json`` perf/robustness summary at the repo root (CI
+uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.scenarios import ResultStore, ScenarioRunner, get_scenario
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+
+def test_fault_matrix_scenario_with_resume(tmp_path):
+    store = ResultStore(tmp_path / "results")
+    scenario = get_scenario("fault_matrix")
+
+    start = time.perf_counter()
+    cold = ScenarioRunner(store).run_scenario(scenario)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resumed = ScenarioRunner(store).run_scenario(scenario)
+    resume_seconds = time.perf_counter() - start
+
+    # Cold run executes every cell; the resume run recomputes nothing.
+    assert [run.cached for run in cold] == [False] * len(cold)
+    assert [run.cached for run in resumed] == [True] * len(resumed)
+    assert len(cold) == len(scenario.cells()) >= 6
+    for cold_run, resumed_run in zip(cold, resumed):
+        assert resumed_run.report.means == cold_run.report.means
+        assert resumed_run.report.trial_scores == cold_run.report.trial_scores
+    assert resume_seconds < cold_seconds
+
+    # Robustness sanity: every fault family degrades accuracy monotonically
+    # enough to keep worst <= clean.
+    for run in cold:
+        assert min(run.report.means) <= run.report.means[0]
+
+    summary = {
+        "scenario": scenario.name,
+        "cells": [run.summary() for run in cold],
+        "perf": {
+            "cold_run_seconds": round(cold_seconds, 4),
+            "resume_run_seconds": round(resume_seconds, 4),
+            "resume_speedup": round(cold_seconds / max(resume_seconds, 1e-9), 2),
+            "evaluations_total": sum(run.report.n_evaluations for run in cold),
+            "cache_hits_total": sum(run.report.cache_hits for run in cold),
+            "cells_resumed_from_store": len(resumed),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"\n=== scenario orchestration bench (BENCH_scenarios.json) ===")
+    print(f"cold run: {len(cold)} cells in {cold_seconds:.2f}s "
+          f"({summary['perf']['evaluations_total']} evaluations, "
+          f"{summary['perf']['cache_hits_total']} cache hits)")
+    print(f"resume:   {len(resumed)} cells in {resume_seconds:.3f}s "
+          f"(all answered from the result store, "
+          f"{summary['perf']['resume_speedup']}x faster)")

@@ -14,20 +14,23 @@ substrate:
 * :mod:`repro.baselines` — ERM, ReRAM-V, AWP, FTNA;
 * :mod:`repro.data` — synthetic stand-ins for MNIST/CIFAR-10/GTSRB/PennFudanPed;
 * :mod:`repro.evaluation` / :mod:`repro.experiments` — robustness sweeps and
-  per-figure harnesses.
+  per-figure harnesses;
+* :mod:`repro.scenarios` — declarative experiment cells, the fault-model and
+  scenario registries, the on-disk result store and the ``python -m repro``
+  CLI.
 """
 
 from . import nn, models, fault, reram, bayesopt, core, baselines, data, evaluation
-from . import training, experiments, utils
+from . import training, experiments, scenarios, utils
 from .core import BayesFT
 from .utils.config import ExperimentConfig
 from .utils.rng import seed_everything
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn", "models", "fault", "reram", "bayesopt", "core", "baselines", "data",
-    "evaluation", "training", "experiments", "utils",
+    "evaluation", "training", "experiments", "scenarios", "utils",
     "BayesFT", "ExperimentConfig", "seed_everything",
     "__version__",
 ]

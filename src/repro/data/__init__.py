@@ -14,6 +14,7 @@ from .cifar import SyntheticCIFAR
 from .gtsrb import SyntheticGTSRB
 from .detection import SyntheticPedestrians, DetectionSample
 from .loader import Dataset, DataLoader, train_test_split
+from .registry import DatasetInfo, build_dataset, dataset_info, available_datasets
 from .transforms import normalize_images, random_crop, random_flip, add_pixel_noise
 
 __all__ = [
@@ -21,5 +22,6 @@ __all__ = [
     "SyntheticMNIST", "SyntheticCIFAR", "SyntheticGTSRB",
     "SyntheticPedestrians", "DetectionSample",
     "Dataset", "DataLoader", "train_test_split",
+    "DatasetInfo", "build_dataset", "dataset_info", "available_datasets",
     "normalize_images", "random_crop", "random_flip", "add_pixel_noise",
 ]

@@ -1,0 +1,86 @@
+"""Dataset registry: build any evaluation dataset from its name.
+
+The scenario subsystem and the figure harnesses refer to datasets by the
+names used in the paper's experiments ("mnist", "cifar", "gtsrb",
+"pedestrians"); this registry maps those names to constructors together with
+the image metadata (channels, default class count) a model constructor
+needs.  Each builder hides the dataset's quirks — e.g. GTSRB bumps the
+sample count so that every one of its 43 classes appears — so that the
+:class:`~repro.scenarios.runner.ScenarioRunner` and the fig3 harness share
+one construction path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .cifar import SyntheticCIFAR
+from .detection import SyntheticPedestrians
+from .gtsrb import SyntheticGTSRB
+from .mnist import SyntheticMNIST
+
+__all__ = ["DatasetInfo", "build_dataset", "dataset_info", "available_datasets"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Registry entry: constructor plus the metadata a model builder needs."""
+
+    builder: Callable
+    in_channels: int
+    num_classes: int
+    task: str = "classification"  # or "detection"
+
+
+def _build_mnist(n_samples, image_size, num_classes, rng, **kwargs):
+    if num_classes not in (None, 10):
+        raise ValueError("the MNIST stand-in is fixed at 10 classes")
+    return SyntheticMNIST(n_samples=n_samples, image_size=image_size, rng=rng, **kwargs)
+
+
+def _build_cifar(n_samples, image_size, num_classes, rng, **kwargs):
+    return SyntheticCIFAR(n_samples=n_samples, image_size=image_size,
+                          num_classes=num_classes or 10, rng=rng, **kwargs)
+
+
+def _build_gtsrb(n_samples, image_size, num_classes, rng, **kwargs):
+    num_classes = num_classes or 43
+    # Every class must appear at least a few times or training collapses.
+    return SyntheticGTSRB(n_samples=max(n_samples, num_classes * 6),
+                          image_size=image_size, num_classes=num_classes,
+                          rng=rng, **kwargs)
+
+
+def _build_pedestrians(n_samples, image_size, num_classes, rng, **kwargs):
+    return SyntheticPedestrians(n_samples=n_samples, image_size=image_size,
+                                rng=rng, **kwargs)
+
+
+_REGISTRY: dict[str, DatasetInfo] = {
+    "mnist": DatasetInfo(_build_mnist, in_channels=1, num_classes=10),
+    "cifar": DatasetInfo(_build_cifar, in_channels=3, num_classes=10),
+    "gtsrb": DatasetInfo(_build_gtsrb, in_channels=3, num_classes=43),
+    "pedestrians": DatasetInfo(_build_pedestrians, in_channels=3, num_classes=1,
+                               task="detection"),
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`build_dataset`."""
+    return sorted(_REGISTRY)
+
+
+def dataset_info(name: str) -> DatasetInfo:
+    """Registry metadata (channels, default classes, task) for a dataset."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return _REGISTRY[key]
+
+
+def build_dataset(name: str, n_samples: int, image_size: int = 16,
+                  num_classes: int | None = None, rng=None, **kwargs):
+    """Instantiate a dataset by name with the registry's per-dataset rules."""
+    return dataset_info(name).builder(n_samples=n_samples, image_size=image_size,
+                                      num_classes=num_classes, rng=rng, **kwargs)

@@ -3,7 +3,10 @@
 One function drives every panel: given a panel name (model + dataset
 combination) it trains ERM, FTNA, ReRAM-V, AWP and BayesFT models and sweeps
 the drift level, returning one :class:`RobustnessCurve` per method — the
-lines of the corresponding sub-figure.
+lines of the corresponding sub-figure.  Passing a
+:class:`~repro.scenarios.runner.ScenarioRunner` routes each method's sweep
+through the scenario subsystem's result store (curves are bit-identical
+either way; see ``fig2_ablation``).
 """
 
 from __future__ import annotations
@@ -12,12 +15,10 @@ import numpy as np
 
 from ..baselines import build_method
 from ..core.api import BayesFT
-from ..data.cifar import SyntheticCIFAR
-from ..data.gtsrb import SyntheticGTSRB
-from ..data.mnist import SyntheticMNIST
+from ..data.registry import build_dataset
 from ..data.loader import Dataset, train_test_split
 from ..evaluation.robustness import RobustnessCurve
-from ..evaluation.sweep import DriftSweepEngine, SweepReport
+from ..evaluation.sweep import SweepReport
 from ..models.registry import build_model
 from ..utils.config import ExperimentConfig
 from ..utils.rng import get_rng
@@ -47,14 +48,8 @@ _PANEL_METHODS = {
 
 def _make_dataset(name: str, config: ExperimentConfig, num_classes: int, rng) -> Dataset:
     total = config.train_samples + config.test_samples
-    if name == "mnist":
-        return SyntheticMNIST(n_samples=total, image_size=16, rng=rng)
-    if name == "cifar":
-        return SyntheticCIFAR(n_samples=total, image_size=16, num_classes=num_classes, rng=rng)
-    if name == "gtsrb":
-        return SyntheticGTSRB(n_samples=max(total, num_classes * 6), image_size=16,
-                              num_classes=num_classes, rng=rng)
-    raise ValueError(f"unknown dataset {name!r}")
+    return build_dataset(name, n_samples=total, image_size=16,
+                         num_classes=num_classes, rng=rng)
 
 
 def _model_kwargs(model_name: str, config: ExperimentConfig) -> dict:
@@ -66,9 +61,30 @@ def _model_kwargs(model_name: str, config: ExperimentConfig) -> dict:
     return kwargs
 
 
+def _cell_spec(panel: str, method_label: str, model_name: str, dataset_name: str,
+               config: ExperimentConfig, seed: int, methods: tuple):
+    """Identity of one (panel, method) sweep for the scenario result store.
+
+    ``methods`` is part of the lineage: the harness threads one RNG through
+    every method's model construction and training, so a cell's weights
+    depend on which methods ran before it — a ``methods=(...)`` subset must
+    hash differently from the full panel.
+    """
+    from ..scenarios.spec import ScenarioSpec
+
+    return ScenarioSpec(
+        name=method_label, model=model_name, dataset=dataset_name,
+        sigmas=tuple(config.sigma_grid), trials=config.drift_trials,
+        seed=seed, train=config,
+        workers=int(config.extra.get("sweep_workers", 0)),
+        max_chunk_trials=config.extra.get("sweep_chunk_trials"),
+        context={"figure": f"fig3_{panel}", "harness_seed": seed,
+                 "methods": list(methods)})
+
+
 def run_classification_comparison(panel: str, config: ExperimentConfig | None = None,
                                   methods: tuple | None = None,
-                                  seed: int = 0) -> dict:
+                                  seed: int = 0, runner=None) -> dict:
     """Run one Figure-3 panel and return its curves and summary statistics.
 
     Parameters
@@ -80,11 +96,17 @@ def run_classification_comparison(panel: str, config: ExperimentConfig | None = 
         minute on CPU.
     methods:
         Override the method list (default: the paper's set for that panel).
+    runner:
+        Optional :class:`~repro.scenarios.runner.ScenarioRunner`; its result
+        store then caches each method's sweep.
     """
     if panel not in FIG3_PANELS:
         raise ValueError(f"unknown panel {panel!r}; choose from {sorted(FIG3_PANELS)}")
     config = config or ExperimentConfig()
     rng = get_rng(seed)
+    if runner is None:
+        from ..scenarios.runner import ScenarioRunner
+        runner = ScenarioRunner()  # no store: plain engine sweeps
     model_name, dataset_name, num_classes, in_channels = FIG3_PANELS[panel]
     methods = methods or _PANEL_METHODS.get(panel, _PANEL_METHODS["default"])
 
@@ -126,11 +148,11 @@ def run_classification_comparison(panel: str, config: ExperimentConfig | None = 
         # preserved for any sweep_workers or sweep_chunk_trials setting (the
         # latter bounds memory for the deep PreAct panels).
         evaluation_rng = np.random.default_rng(seed + 77771)
-        engine = DriftSweepEngine(model, test_set, trials=config.drift_trials,
-                                  workers=int(config.extra.get("sweep_workers", 0)),
-                                  max_chunk_trials=config.extra.get("sweep_chunk_trials"),
-                                  rng=evaluation_rng)
-        reports.append(engine.run(config.sigma_grid, label=label))
+        spec = _cell_spec(panel, label, model_name, dataset_name, config, seed,
+                          methods)
+        reports.append(runner.sweep_trained(model, test_set, spec,
+                                            rng=evaluation_rng,
+                                            scenario=f"fig3_{panel}"))
         curves.append(reports[-1].curve())
 
     return {

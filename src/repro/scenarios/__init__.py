@@ -1,0 +1,25 @@
+"""Scenario registry + experiment orchestration.
+
+Turns the repro into a queryable experiment matrix: declarative
+:class:`ScenarioSpec` cells (model × dataset × fault model × severity
+grid), a string-keyed fault-model registry, a :class:`ScenarioRunner` that
+executes cells on the sweep engine, and a content-addressed on-disk
+:class:`ResultStore` so finished cells are never recomputed.  The
+``python -m repro`` CLI (:mod:`repro.scenarios.cli`) drives it all.
+"""
+
+from .spec import (
+    FaultSpec, ScenarioSpec, available_fault_models, register_fault_model,
+)
+from .store import ResultStore, ResultStoreError
+from .runner import ScenarioRun, ScenarioRunner
+from .library import (
+    Scenario, available_scenarios, get_scenario, register_scenario,
+)
+
+__all__ = [
+    "FaultSpec", "ScenarioSpec", "available_fault_models", "register_fault_model",
+    "ResultStore", "ResultStoreError",
+    "ScenarioRun", "ScenarioRunner",
+    "Scenario", "available_scenarios", "get_scenario", "register_scenario",
+]

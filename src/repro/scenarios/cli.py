@@ -1,0 +1,220 @@
+"""``python -m repro`` — the scenario command line.
+
+Subcommands:
+
+* ``list`` — scenarios, fault models, models and datasets;
+* ``run`` — execute a scenario into an on-disk result store (finished
+  cells are skipped on re-runs);
+* ``report`` — tabulate every cell stored under ``--out``;
+* ``compare`` — align the stored cells of two or more grid scenarios.
+
+Everything prints human tables by default and JSON with ``--json``, so the
+CLI doubles as a machine interface for the benchmark suite and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..data.registry import available_datasets
+from ..evaluation.statistics import curve_auc
+from ..models.registry import available_models
+from ..utils.config import ExperimentConfig
+from .library import available_scenarios, get_scenario
+from .runner import ScenarioRunner
+from .spec import available_fault_models
+from .store import ResultStore, ResultStoreError
+
+__all__ = ["main"]
+
+
+def _emit(payload: dict, as_json: bool, text: str) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True) if as_json else text)
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_list(args) -> int:
+    rows = []
+    for name in available_scenarios():
+        scenario = get_scenario(name)
+        cells = len(scenario.cells()) if scenario.figure is None else None
+        rows.append({"name": name, "kind": scenario.kind(),
+                     "cells": cells, "description": scenario.description})
+    payload = {"scenarios": rows,
+               "fault_models": available_fault_models(),
+               "models": available_models(),
+               "datasets": available_datasets()}
+    lines = ["scenarios:"]
+    for row in rows:
+        cells = "harness" if row["cells"] is None else f"{row['cells']} cells"
+        lines.append(f"  {row['name']:<22} [{row['kind']}, {cells}] "
+                     f"{row['description']}")
+    lines.append(f"fault models: {', '.join(payload['fault_models'])}")
+    lines.append(f"models:       {', '.join(payload['models'])}")
+    lines.append(f"datasets:     {', '.join(payload['datasets'])}")
+    _emit(payload, args.json, "\n".join(lines))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_run(args) -> int:
+    store = ResultStore(args.out)
+    runner = ScenarioRunner(store, workers=args.workers,
+                            max_chunk_trials=args.chunk_trials,
+                            progress=None if args.json else print)
+    # Figure scenarios default to the fast config (scenario.default_config);
+    # --full runs the harness at its own full-scale default.  Grid cells
+    # embed their training config in the spec and ignore this.
+    config = ExperimentConfig() if args.full else None
+    runs = runner.run_scenario(args.scenario, config=config, seed=args.seed)
+    cached = sum(run.cached for run in runs)
+    payload = {"scenario": args.scenario, "store": str(store.root),
+               "cells": [run.summary() for run in runs],
+               "cells_total": len(runs), "cells_cached": cached,
+               "cells_executed": len(runs) - cached}
+    _emit(payload, args.json,
+          f"{args.scenario}: {len(runs)} cells, {cached} answered from the "
+          f"store, {len(runs) - cached} executed (results in {store.root})")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def _curve_stats(report) -> dict:
+    curve = report.curve()
+    # "clean" is the zero-severity point; grids without one have no clean
+    # accuracy to report.
+    clean = (curve.means[curve.sigmas.index(0.0)]
+             if 0.0 in curve.sigmas else None)
+    return {"clean": clean, "worst": float(min(curve.means)),
+            "auc": float(curve_auc(curve))}
+
+
+def _fmt(value: "float | None") -> str:
+    return f"{value:6.3f}" if value is not None else "     -"
+
+
+def _cmd_report(args) -> int:
+    store = ResultStore(args.out)
+    rows = []
+    for spec, report, meta in store.entries():
+        rows.append({"hash": spec.spec_hash()[:16], "name": spec.name,
+                     "model": spec.model, "dataset": spec.dataset,
+                     "fault": spec.fault.describe(),
+                     "scenario": meta.get("scenario"),
+                     "sigmas": list(spec.sigmas),
+                     "means": list(report.means),
+                     **_curve_stats(report)})
+    rows.sort(key=lambda row: (row["scenario"] or "", row["name"]))
+    payload = {"store": str(store.root), "cells": rows}
+    lines = [f"result store {store.root}: {len(rows)} cells",
+             f"  {'name':<28} {'model':<10} {'dataset':<8} {'fault':<22} "
+             f"{'clean':>6} {'worst':>6} {'auc':>6}"]
+    for row in rows:
+        lines.append(f"  {row['name']:<28} {row['model']:<10} "
+                     f"{row['dataset']:<8} {row['fault']:<22} "
+                     f"{_fmt(row['clean'])} {row['worst']:6.3f} "
+                     f"{row['auc']:6.3f}")
+    _emit(payload, args.json, "\n".join(lines))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_compare(args) -> int:
+    store = ResultStore(args.out)
+    columns = []
+    for name in args.scenarios:
+        scenario = get_scenario(name)
+        if scenario.figure is not None:
+            raise SystemExit(
+                f"compare works on grid scenarios; {name!r} is a figure "
+                "scenario — use `report` to inspect its stored cells")
+        for spec in scenario.cells(seed=args.seed):
+            if not store.contains(spec):
+                raise SystemExit(
+                    f"cell {spec.name!r} of scenario {name!r} is not in "
+                    f"{store.root}; run `python -m repro run {name} --out "
+                    f"{store.root}` first")
+            columns.append((name, spec, store.load(spec)))
+    payload = {"store": str(store.root), "cells": [
+        {"scenario": name, "name": spec.name,
+         "fault": spec.fault.describe(), "sigmas": list(spec.sigmas),
+         "means": list(report.means), **_curve_stats(report)}
+        for name, spec, report in columns]}
+    lines = [f"comparing {len(columns)} stored cells from "
+             f"{', '.join(args.scenarios)}:",
+             f"  {'scenario':<16} {'cell':<28} {'clean':>6} {'worst':>6} "
+             f"{'auc':>6}  severity: mean accuracy"]
+    for name, spec, report in columns:
+        stats = _curve_stats(report)
+        curve = " ".join(f"{sigma:g}:{mean:.3f}"
+                         for sigma, mean in zip(report.sigmas, report.means))
+        lines.append(f"  {name:<16} {spec.name:<28} {_fmt(stats['clean'])} "
+                     f"{stats['worst']:6.3f} {stats['auc']:6.3f}  {curve}")
+    best = max(columns, key=lambda item: _curve_stats(item[2])["auc"])
+    lines.append(f"highest robustness AUC: {best[1].name} "
+                 f"({_curve_stats(best[2])['auc']:.3f})")
+    _emit(payload, args.json, "\n".join(lines))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BayesFT scenario orchestration: declarative "
+                    "(model × dataset × fault × severity) experiment cells "
+                    "with an on-disk, content-addressed result store.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list scenarios and registries")
+    p_list.add_argument("--json", action="store_true")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run a scenario (resumes from --out)")
+    p_run.add_argument("scenario", choices=available_scenarios())
+    p_run.add_argument("--out", default="results",
+                       help="result-store directory (default: ./results)")
+    p_run.add_argument("--seed", type=int, default=None)
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="sweep worker processes (never changes results)")
+    p_run.add_argument("--chunk-trials", type=int, default=None,
+                       dest="chunk_trials",
+                       help="bound pre-drawn weight copies per parameter")
+    p_run.add_argument("--full", action="store_true",
+                       help="figure scenarios: run the harness at its "
+                            "full-scale default config instead of the fast "
+                            "one (grid scenarios embed their own config)")
+    p_run.add_argument("--json", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser("report", help="tabulate a result store")
+    p_report.add_argument("--out", default="results")
+    p_report.add_argument("--json", action="store_true")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_compare = sub.add_parser("compare",
+                               help="align stored cells of grid scenarios")
+    p_compare.add_argument("scenarios", nargs="+")
+    p_compare.add_argument("--out", default="results")
+    p_compare.add_argument("--seed", type=int, default=None)
+    p_compare.add_argument("--json", action="store_true")
+    p_compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ResultStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0

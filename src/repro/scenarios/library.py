@@ -1,0 +1,197 @@
+"""Built-in scenario library and the scenario registry.
+
+Two families of scenarios:
+
+* **grid** scenarios are pure data — a list of
+  :class:`~repro.scenarios.spec.ScenarioSpec` cells the runner executes
+  declaratively (and resumes from the store).  ``fault_matrix`` is the
+  FTT-NAS-style matrix: one model evaluated under every registered fault
+  distribution, each on its own severity grid.
+* **figure** scenarios wrap the paper's harnesses (``fig2_*``, ``fig3_*``)
+  so that the exact published panels are reproducible from the CLI; the
+  harness keeps its own RNG threading (curves match the classic code path
+  bit for bit) while every sweep it performs flows through the runner's
+  store.
+
+``register_scenario`` is open: downstream code can add scenarios the same
+way the built-ins do.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..utils.config import ExperimentConfig
+from .spec import FaultSpec, ScenarioSpec
+
+__all__ = [
+    "Scenario", "register_scenario", "get_scenario", "available_scenarios",
+    "run_figure_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """A named, documented entry in the scenario registry."""
+
+    name: str
+    description: str
+    #: Grid scenarios: callable(seed) -> tuple[ScenarioSpec, ...].
+    build_specs: Callable | None = None
+    #: Figure scenarios: dotted ``module:function`` of the harness.
+    figure: str | None = None
+    figure_kwargs: dict = field(default_factory=dict)
+    default_seed: int = 0
+    #: Default ExperimentConfig factory for figure harnesses.
+    default_config: Callable[[], ExperimentConfig] = ExperimentConfig.fast
+
+    def cells(self, seed: int | None = None) -> tuple[ScenarioSpec, ...]:
+        """The declarative cell list (empty for figure scenarios)."""
+        if self.build_specs is None:
+            return ()
+        return tuple(self.build_specs(self.default_seed if seed is None else seed))
+
+    def kind(self) -> str:
+        return "figure" if self.figure is not None else "grid"
+
+
+_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    if scenario.name in _SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    if (scenario.build_specs is None) == (scenario.figure is None):
+        raise ValueError("a scenario defines exactly one of build_specs/figure")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def available_scenarios() -> list[str]:
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in _SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"available: {available_scenarios()}")
+    return _SCENARIOS[name]
+
+
+def run_figure_scenario(scenario: Scenario, runner, config=None,
+                        seed: int | None = None):
+    """Invoke a figure scenario's harness with the runner threaded through."""
+    module_name, _, function_name = scenario.figure.partition(":")
+    harness = getattr(importlib.import_module(module_name), function_name)
+    return harness(config=config or scenario.default_config(),
+                   seed=scenario.default_seed if seed is None else seed,
+                   runner=runner, **scenario.figure_kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Grid scenarios.
+# --------------------------------------------------------------------------- #
+def _smoke_specs(seed: int) -> tuple[ScenarioSpec, ...]:
+    train = ExperimentConfig(epochs=4, train_samples=128, test_samples=64,
+                             batch_size=32, learning_rate=0.1)
+    return (ScenarioSpec(name="smoke-mlp-lognormal", model="mlp",
+                         dataset="mnist", fault=FaultSpec("lognormal"),
+                         sigmas=(0.0, 0.8), trials=2, seed=seed, train=train),)
+
+
+register_scenario(Scenario(
+    name="smoke",
+    description="one tiny MLP/MNIST log-normal cell (~2s; CI and docs)",
+    build_specs=_smoke_specs,
+))
+
+
+#: severity grids per fault kind — what "severity" means is the kind's
+#: business (σ, amplitude, probability); see the fault registry.
+_FAULT_MATRIX_ROWS: tuple[tuple[FaultSpec, tuple], ...] = (
+    (FaultSpec("lognormal"), (0.0, 0.4, 0.8, 1.2)),
+    (FaultSpec("gaussian"), (0.0, 0.3, 0.6, 0.9)),
+    (FaultSpec("uniform"), (0.0, 0.4, 0.8, 1.2)),
+    (FaultSpec("stuckat"), (0.0, 0.05, 0.1, 0.2)),
+    (FaultSpec("bitflip", params={"bits": 8}), (0.0, 0.01, 0.03, 0.05)),
+    # Drift then stuck-at: σ sweeps the drift while the stuck-at probability
+    # runs at a tenth of it, staying inside [0, 1] over the whole grid.
+    (FaultSpec("composite", components=(
+        FaultSpec("lognormal"),
+        FaultSpec("stuckat", scale=0.1))), (0.0, 0.4, 0.8, 1.2)),
+)
+
+
+def _fault_matrix_specs(seed: int) -> tuple[ScenarioSpec, ...]:
+    train = ExperimentConfig(epochs=3, train_samples=160, test_samples=80,
+                             batch_size=32, learning_rate=0.1)
+    return tuple(
+        ScenarioSpec(name=f"mlp-mnist-{fault.describe()}", model="mlp",
+                     dataset="mnist", fault=fault, sigmas=grid, trials=3,
+                     seed=seed, train=train)
+        for fault, grid in _FAULT_MATRIX_ROWS)
+
+
+register_scenario(Scenario(
+    name="fault_matrix",
+    description="MLP/MNIST under every registered fault model "
+                "(FTT-NAS-style matrix: drift, noise, stuck-at, bit-flip, "
+                "composite)",
+    build_specs=_fault_matrix_specs,
+))
+
+
+def _dataset_matrix_specs(seed: int) -> tuple[ScenarioSpec, ...]:
+    train = ExperimentConfig(epochs=5, train_samples=300, test_samples=100,
+                             batch_size=32, learning_rate=0.1)
+    return tuple(
+        ScenarioSpec(name=f"mlp-{dataset}-lognormal", model="mlp",
+                     dataset=dataset, fault=FaultSpec("lognormal"),
+                     sigmas=(0.0, 0.5, 1.0), trials=3, seed=seed, train=train)
+        for dataset in ("mnist", "cifar", "gtsrb"))
+
+
+register_scenario(Scenario(
+    name="dataset_matrix",
+    description="one MLP recipe across all classification datasets under "
+                "log-normal drift",
+    build_specs=_dataset_matrix_specs,
+))
+
+
+# --------------------------------------------------------------------------- #
+# Figure scenarios: the paper's panels through the runner.
+# --------------------------------------------------------------------------- #
+for _panel, _harness in (
+        ("dropout", "run_dropout_ablation"),
+        ("normalization", "run_normalization_ablation"),
+        ("depth", "run_depth_ablation"),
+        ("activation", "run_activation_ablation")):
+    register_scenario(Scenario(
+        name=f"fig2_{_panel}",
+        description=f"Figure 2 {_panel} ablation via its harness "
+                    "(sweeps cached in the result store)",
+        figure=f"repro.experiments.fig2_ablation:{_harness}",
+    ))
+
+# One scenario per Fig. 3 classification panel, e.g. fig3_b_lenet_mnist.
+from ..experiments.fig3_classification import FIG3_PANELS as _FIG3_PANELS  # noqa: E402
+
+for _panel in _FIG3_PANELS:
+    register_scenario(Scenario(
+        name=f"fig3_{_panel}",
+        description=f"Figure 3({_panel[0]}) method comparison via the fig3 "
+                    "harness (ERM/FTNA/ReRAM-V/AWP/BayesFT)",
+        figure="repro.experiments.fig3_classification:"
+               "run_classification_comparison",
+        figure_kwargs={"panel": _panel},
+    ))
+
+register_scenario(Scenario(
+    name="fig3_detection",
+    description="Figure 3(j) pedestrian-detection mAP comparison "
+                "(ERM vs BayesFT) via the detection harness",
+    figure="repro.experiments.fig3_detection:run_detection_comparison",
+))

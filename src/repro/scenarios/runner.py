@@ -1,0 +1,241 @@
+"""Execute scenario specs on the sweep engine, with resume from the store.
+
+:class:`ScenarioRunner` is the orchestration layer between the declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` world and the measurement
+machinery: it resolves model and dataset names through the registries,
+trains the model per the embedded
+:class:`~repro.utils.config.ExperimentConfig`, sweeps the severity grid on
+:class:`~repro.evaluation.sweep.DriftSweepEngine`, and persists each
+completed cell into a :class:`~repro.scenarios.store.ResultStore` keyed by
+the spec's content hash — so re-running a scenario skips every finished
+cell and cross-scenario comparisons read from disk.
+
+Two entry paths share the sweep/store logic:
+
+* :meth:`run` — fully declarative cells: the runner builds, trains and
+  sweeps from the spec alone (each cell is RNG-independent, seeded by
+  ``spec.seed``, so cells can be cached, skipped and re-ordered freely);
+* :meth:`sweep_trained` — figure-harness cells: the harness owns model
+  construction and training (preserving its exact RNG threading, so curves
+  match the pre-scenario code paths bit for bit) and routes only the sweep
+  through the runner, gaining the cache and the store for free.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data.loader import train_test_split
+from ..data.registry import build_dataset, dataset_info
+from ..evaluation.detection_metrics import mean_average_precision
+from ..evaluation.sweep import DriftSweepEngine, SweepReport
+from ..models.registry import build_model
+from ..training.trainer import train_classifier
+from .spec import ScenarioSpec
+from .store import ResultStore
+
+__all__ = ["ScenarioRunner", "ScenarioRun", "EVALUATION_SEED_OFFSET"]
+
+#: Added to ``spec.seed`` for the default evaluation RNG, matching the
+#: fig2 harness convention (training and evaluation streams never mix).
+EVALUATION_SEED_OFFSET = 99991
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of one cell: the report, and whether the store answered it."""
+
+    spec: ScenarioSpec
+    report: SweepReport
+    cached: bool = False
+    elapsed_seconds: float = 0.0
+
+    def summary(self) -> dict:
+        """One machine-readable row for CLI/benchmark output.
+
+        ``clean`` is the zero-severity accuracy, and ``None`` when the
+        grid does not include severity 0 (nothing in that sweep is clean).
+        """
+        curve = self.report.curve()
+        return {
+            "name": self.spec.name,
+            "model": self.spec.model,
+            "dataset": self.spec.dataset,
+            "fault": self.spec.fault.describe(),
+            "hash": self.spec.spec_hash()[:16],
+            "cached": self.cached,
+            "clean": (self.report.means[self.report.sigmas.index(0.0)]
+                      if 0.0 in self.report.sigmas else None),
+            "worst": float(min(self.report.means)),
+            "n_evaluations": self.report.n_evaluations,
+            "cache_hits": self.report.cache_hits,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "sigmas": list(curve.sigmas),
+            "means": list(curve.means),
+        }
+
+
+class ScenarioRunner:
+    """Resolve, execute and persist scenario cells.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`ResultStore`; without one every cell is executed
+        fresh and nothing is persisted (the figure harnesses default to
+        this, keeping them side-effect free).
+    workers, max_chunk_trials:
+        Scheduling overrides applied to every cell (``None`` defers to the
+        spec).  They never change results — the engine's determinism
+        contract — and never enter the spec hash.
+    progress:
+        Optional ``callable(str)`` receiving one line per cell (the CLI
+        passes ``print``).
+    """
+
+    def __init__(self, store: ResultStore | None = None, *,
+                 workers: int | None = None,
+                 max_chunk_trials: int | None = None,
+                 progress: Callable[[str], None] | None = None):
+        self.store = store
+        self.workers = workers
+        self.max_chunk_trials = max_chunk_trials
+        self.progress = progress
+        #: Every cell this runner has resolved, in execution order.
+        self.runs: list[ScenarioRun] = []
+
+    # ------------------------------------------------------------------ #
+    def _log(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _engine_kwargs(self, spec: ScenarioSpec) -> dict:
+        workers = self.workers if self.workers is not None else spec.workers
+        max_chunk = (self.max_chunk_trials if self.max_chunk_trials is not None
+                     else spec.max_chunk_trials)
+        kwargs = dict(trials=spec.trials, workers=int(workers),
+                      max_chunk_trials=max_chunk,
+                      drift_factory=spec.fault.factory())
+        if spec.metric == "map":
+            kwargs["evaluate_fn"] = functools.partial(mean_average_precision,
+                                                      iou_threshold=0.5)
+        return kwargs
+
+    def _finish(self, spec: ScenarioSpec, report: SweepReport, cached: bool,
+                elapsed: float, scenario: str | None) -> ScenarioRun:
+        if not cached and self.store is not None:
+            metadata = {"scenario": scenario} if scenario else {}
+            self.store.save(spec, report, metadata)
+        run = ScenarioRun(spec=spec, report=report, cached=cached,
+                          elapsed_seconds=elapsed)
+        self.runs.append(run)
+        state = "cached" if cached else f"ran in {elapsed:.2f}s"
+        self._log(f"  [{spec.spec_hash()[:12]}] {spec.name}: {state}")
+        return run
+
+    # ------------------------------------------------------------------ #
+    def run(self, spec: ScenarioSpec, scenario: str | None = None) -> ScenarioRun:
+        """Execute one declarative cell (or answer it from the store)."""
+        if spec.context:
+            raise ValueError(
+                f"cell {spec.name!r} carries figure-harness context "
+                f"{sorted(spec.context)} and cannot be re-executed from its "
+                "spec alone; run its figure scenario instead")
+        start = time.perf_counter()
+        if self.store is not None and self.store.contains(spec):
+            report = self.store.load(spec)
+            return self._finish(spec, report, True,
+                                time.perf_counter() - start, scenario)
+        report = self._execute(spec)
+        return self._finish(spec, report, False,
+                            time.perf_counter() - start, scenario)
+
+    def run_specs(self, specs: Sequence[ScenarioSpec],
+                  scenario: str | None = None) -> list[ScenarioRun]:
+        return [self.run(spec, scenario=scenario) for spec in specs]
+
+    def _execute(self, spec: ScenarioSpec) -> SweepReport:
+        info = dataset_info(spec.dataset)
+        if info.task != "classification":
+            raise ValueError(
+                f"declarative cells currently support classification "
+                f"datasets only; {spec.dataset!r} is a {info.task} dataset "
+                "(detection rides the fig3_detection figure scenario)")
+        train = spec.train
+        num_classes = spec.num_classes or info.num_classes
+        rng = np.random.default_rng(spec.seed)
+        total = train.train_samples + train.test_samples
+        dataset = build_dataset(spec.dataset, n_samples=total,
+                                image_size=spec.image_size,
+                                num_classes=num_classes, rng=rng,
+                                **spec.dataset_kwargs)
+        fraction = train.test_samples / total
+        train_set, test_set = train_test_split(dataset, test_fraction=fraction,
+                                               rng=rng)
+        model = build_model(spec.model, num_classes=num_classes,
+                            in_channels=info.in_channels,
+                            image_size=spec.image_size, rng=rng,
+                            **spec.model_kwargs)
+        train_classifier(model, train_set, epochs=train.epochs,
+                         batch_size=train.batch_size,
+                         learning_rate=train.learning_rate,
+                         momentum=train.momentum,
+                         weight_decay=train.weight_decay,
+                         optimizer=train.optimizer, rng=rng)
+        engine = DriftSweepEngine(
+            model, test_set,
+            rng=np.random.default_rng(spec.seed + EVALUATION_SEED_OFFSET),
+            **self._engine_kwargs(spec))
+        return engine.run(spec.sigmas, label=spec.name)
+
+    # ------------------------------------------------------------------ #
+    def sweep_trained(self, model, data, spec: ScenarioSpec,
+                      rng=None, scenario: str | None = None) -> SweepReport:
+        """Sweep an already-trained model, consulting the store first.
+
+        The figure harnesses call this with their own evaluation ``rng`` so
+        the produced curves are bit-identical to the pre-scenario code path;
+        ``spec`` (including its harness ``context``) is only the cell's
+        identity for caching.
+        """
+        start = time.perf_counter()
+        if self.store is not None and self.store.contains(spec):
+            report = self.store.load(spec)
+            self._finish(spec, report, True, time.perf_counter() - start,
+                         scenario)
+            return report
+        if rng is None:
+            rng = np.random.default_rng(spec.seed + EVALUATION_SEED_OFFSET)
+        engine = DriftSweepEngine(model, data, rng=rng,
+                                  **self._engine_kwargs(spec))
+        report = engine.run(spec.sigmas, label=spec.name)
+        self._finish(spec, report, False, time.perf_counter() - start,
+                     scenario)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def run_scenario(self, scenario, config=None, seed: int | None = None,
+                     ) -> list[ScenarioRun]:
+        """Run a named or :class:`~repro.scenarios.library.Scenario` object.
+
+        Grid scenarios execute their spec list; figure scenarios invoke
+        their harness with this runner threaded through, so every sweep the
+        harness performs lands in (or is answered by) the store.  Returns
+        the runs this call produced, cached cells included.
+        """
+        from .library import get_scenario, run_figure_scenario
+
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        first = len(self.runs)
+        self._log(f"scenario {scenario.name}: {scenario.description}")
+        if scenario.figure is None:
+            self.run_specs(scenario.cells(seed=seed), scenario=scenario.name)
+        else:
+            run_figure_scenario(scenario, self, config=config, seed=seed)
+        return self.runs[first:]

@@ -1,0 +1,185 @@
+"""Content-addressed on-disk result store for scenario cells.
+
+Each completed cell lives in ``<root>/<spec_hash>/`` as three files:
+
+* ``spec.json`` — the canonical :class:`~repro.scenarios.spec.ScenarioSpec`;
+* ``report.json`` — the *deterministic* part of the
+  :class:`~repro.evaluation.sweep.SweepReport` (scores, losses, evaluation
+  counts), serialized canonically (sorted keys, fixed indent) so that a
+  seeded cell produces **byte-identical** files regardless of worker count
+  or chunk size;
+* ``meta.json`` — the volatile run record (wall-clock, backend, workers,
+  chunk bound, timestamps, which scenario requested the cell).
+
+Splitting report from meta is what makes the determinism contract auditable
+on disk: ``diff`` two stores produced with ``workers=0`` and ``workers=2``
+and only ``meta.json`` differs.  Writes are atomic (temp directory +
+rename), re-runs of a finished cell are skipped by
+:meth:`ResultStore.contains`, and every read re-validates the entry —
+corruption raises a labeled :class:`ResultStoreError` instead of feeding a
+half-written report into a comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+from typing import Iterator
+
+from ..evaluation.sweep import SweepReport
+from .spec import ScenarioSpec
+
+__all__ = ["ResultStore", "ResultStoreError", "VOLATILE_REPORT_FIELDS"]
+
+#: SweepReport fields that legitimately vary between bit-identical runs
+#: (scheduling and timing); they are moved to ``meta.json``.
+VOLATILE_REPORT_FIELDS = (
+    "workers", "backend", "fallback_reason", "elapsed_seconds",
+    "per_sigma_seconds", "max_chunk_trials", "peak_resident_trials",
+)
+
+_SPEC_FILE = "spec.json"
+_REPORT_FILE = "report.json"
+_META_FILE = "meta.json"
+
+
+class ResultStoreError(RuntimeError):
+    """A result-store entry is missing, unreadable, or inconsistent."""
+
+
+def canonical_report_dict(report: SweepReport) -> dict:
+    """The deterministic projection of a report (volatile fields removed)."""
+    data = report.as_dict()
+    for key in VOLATILE_REPORT_FIELDS:
+        data.pop(key, None)
+    return data
+
+
+class ResultStore:
+    """Spec-hash keyed store of completed sweep reports.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per completed cell; created on
+        first write.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self.root / spec.spec_hash()
+
+    def contains(self, spec: ScenarioSpec) -> bool:
+        """True when a complete entry exists for this spec's hash."""
+        entry = self.path_for(spec)
+        return all((entry / name).is_file()
+                   for name in (_SPEC_FILE, _REPORT_FILE, _META_FILE))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.hashes())
+
+    @staticmethod
+    def _is_entry_name(name: str) -> bool:
+        # Completed entries are bare SHA-256 hex dirs; anything else (e.g.
+        # a `<hash>.tmp-<pid>` staging dir left by a crash mid-save) is not
+        # an entry and must never surface through hashes()/entries().
+        return len(name) == 64 and all(c in "0123456789abcdef" for c in name)
+
+    def hashes(self) -> Iterator[str]:
+        """Hashes of every (complete-looking) entry on disk."""
+        if not self.root.is_dir():
+            return
+        for entry in sorted(self.root.iterdir()):
+            if (entry.is_dir() and self._is_entry_name(entry.name)
+                    and (entry / _SPEC_FILE).is_file()):
+                yield entry.name
+
+    # ------------------------------------------------------------------ #
+    def save(self, spec: ScenarioSpec, report: SweepReport,
+             metadata: dict | None = None) -> Path:
+        """Write one completed cell atomically; returns the entry path."""
+        entry = self.path_for(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = entry.with_name(entry.name + f".tmp-{os.getpid()}")
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        report_dict = report.as_dict()
+        meta = dict(metadata or {})
+        meta.setdefault("created_at", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+        meta["volatile"] = {key: report_dict.get(key)
+                           for key in VOLATILE_REPORT_FIELDS}
+        (staging / _SPEC_FILE).write_text(spec.to_json(indent=2) + "\n")
+        (staging / _REPORT_FILE).write_text(
+            json.dumps(canonical_report_dict(report), sort_keys=True, indent=2)
+            + "\n")
+        (staging / _META_FILE).write_text(
+            json.dumps(meta, sort_keys=True, indent=2) + "\n")
+        if entry.exists():
+            shutil.rmtree(entry)
+        staging.rename(entry)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    def load(self, spec: ScenarioSpec) -> SweepReport:
+        """Load and validate the report stored for this spec."""
+        return self.load_entry(spec.spec_hash())[1]
+
+    def load_entry(self, spec_hash: str) -> tuple[ScenarioSpec, SweepReport, dict]:
+        """Load and validate one entry by hash: ``(spec, report, meta)``."""
+        entry = self.root / spec_hash
+
+        def corrupted(reason: str) -> ResultStoreError:
+            return ResultStoreError(
+                f"result store entry {spec_hash[:16]}… at {entry} is "
+                f"corrupted: {reason}")
+
+        if not entry.is_dir():
+            raise ResultStoreError(
+                f"result store has no entry {spec_hash[:16]}… under {self.root}")
+        payloads = {}
+        for name in (_SPEC_FILE, _REPORT_FILE, _META_FILE):
+            path = entry / name
+            if not path.is_file():
+                raise corrupted(f"missing {name}")
+            try:
+                payloads[name] = json.loads(path.read_text())
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise corrupted(f"{name} is not valid JSON ({error})") from error
+        try:
+            spec = ScenarioSpec.from_dict(payloads[_SPEC_FILE])
+        except (TypeError, ValueError) as error:
+            raise corrupted(f"spec.json does not describe a ScenarioSpec "
+                            f"({error})") from error
+        if spec.spec_hash() != spec_hash:
+            raise corrupted(
+                f"spec.json hashes to {spec.spec_hash()[:16]}…, not the "
+                "entry's own hash — the spec or the directory was edited")
+        try:
+            report = SweepReport.from_dict(payloads[_REPORT_FILE])
+            # SweepReport is an unvalidating dataclass, so the structural
+            # checks below can themselves throw on mistyped fields (e.g. a
+            # scalar where a list belongs) — that is corruption too.
+            grid_matches = list(report.sigmas) == list(spec.sigmas)
+            lengths_agree = len(report.means) == len(report.sigmas)
+        except TypeError as error:
+            raise corrupted(f"report.json does not describe a SweepReport "
+                            f"({error})") from error
+        if not grid_matches:
+            raise corrupted(
+                f"report grid {report.sigmas} does not match the spec grid "
+                f"{list(spec.sigmas)}")
+        if not lengths_agree:
+            raise corrupted("report means/sigmas lengths disagree")
+        return spec, report, payloads[_META_FILE]
+
+    def entries(self) -> Iterator[tuple[ScenarioSpec, SweepReport, dict]]:
+        """Iterate every stored cell, validating each on the way out."""
+        for spec_hash in self.hashes():
+            yield self.load_entry(spec_hash)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field, fields, asdict
 
 
 @dataclass
@@ -31,6 +31,29 @@ class ExperimentConfig:
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output (or parsed JSON).
+
+        Symmetric with :meth:`to_dict`: ``from_dict(c.to_dict()) == c`` for
+        every config, including one that went through JSON (where
+        ``sigma_grid`` arrives as a list — it is normalised back to a tuple).
+        Unknown keys raise so that a typo in a stored scenario spec cannot be
+        silently dropped.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentConfig fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        data = dict(data)
+        if "sigma_grid" in data:
+            data["sigma_grid"] = tuple(data["sigma_grid"])
+        if "extra" in data:
+            data["extra"] = dict(data["extra"])
+        return cls(**data)
 
     @classmethod
     def fast(cls) -> "ExperimentConfig":

@@ -108,6 +108,44 @@ class TestOtherDriftModels:
             CompositeFault()
 
 
+class TestSampleBatchDeterminism:
+    """The non-drift fault models honour the batched-RNG stream contract."""
+
+    MODELS = [StuckAtFault(0.3), BitFlipFault(0.05, bits=8),
+              CompositeFault(LogNormalDrift(0.4), StuckAtFault(0.15))]
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_seeded_batches_are_reproducible(self, model):
+        weights = np.random.default_rng(5).normal(size=(6, 4))
+        first = model.sample_batch(weights, 4, rng=np.random.default_rng(17))
+        second = model.sample_batch(weights, 4, rng=np.random.default_rng(17))
+        np.testing.assert_array_equal(first, second)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_split_draws_reproduce_the_single_batch(self, model):
+        """sample_batch(w, a) then (w, b) on one stream == sample_batch(w, a+b)
+        — the contract chunked pre-drawing relies on."""
+        weights = np.random.default_rng(5).normal(size=(6, 4))
+        full = model.sample_batch(weights, 5, rng=np.random.default_rng(23))
+        stream = np.random.default_rng(23)
+        split = np.concatenate([model.sample_batch(weights, 2, rng=stream),
+                                model.sample_batch(weights, 3, rng=stream)])
+        np.testing.assert_array_equal(split, full)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_input_weights_never_mutated(self, model):
+        weights = np.random.default_rng(5).normal(size=(6, 4))
+        before = weights.copy()
+        model.sample_batch(weights, 3, rng=0)
+        np.testing.assert_array_equal(weights, before)
+
+    def test_zero_severity_models_declare_deterministic(self):
+        assert StuckAtFault(0.0).is_deterministic()
+        assert BitFlipFault(0.0).is_deterministic()
+        assert CompositeFault(LogNormalDrift(0.0), StuckAtFault(0.0)).is_deterministic()
+        assert not CompositeFault(LogNormalDrift(0.0), StuckAtFault(0.1)).is_deterministic()
+
+
 class TestFaultInjector:
     def _small_model(self):
         return build_mlp(16, depth=2, width=8, num_classes=3, rng=0)

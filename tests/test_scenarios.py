@@ -1,0 +1,359 @@
+"""Tests for the scenario subsystem: specs, store, runner, library, CLI.
+
+The load-bearing guarantees:
+
+* ``ScenarioSpec`` round-trips through JSON and its content hash is stable
+  against key order and scheduling knobs;
+* the result store resumes (skips) completed cells, detects corruption with
+  a labeled error, and stores **byte-identical** report files for any
+  worker count (the determinism contract made auditable on disk);
+* the figure harnesses produce bit-identical curves with and without a
+  store-backed runner.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fault.drift import CompositeFault, LogNormalDrift, StuckAtFault
+from repro.scenarios import (
+    FaultSpec, ResultStore, ResultStoreError, Scenario, ScenarioRunner,
+    ScenarioSpec, available_fault_models, available_scenarios, get_scenario,
+)
+from repro.scenarios.cli import main
+from repro.scenarios.store import VOLATILE_REPORT_FIELDS
+from repro.utils.config import ExperimentConfig
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    """A cell small enough that executing it takes well under a second."""
+    defaults = dict(
+        name="tiny", model="mlp", dataset="mnist",
+        fault=FaultSpec("lognormal"), sigmas=(0.0, 0.8), trials=2, seed=3,
+        train=ExperimentConfig(epochs=1, train_samples=64, test_samples=32,
+                               batch_size=32, learning_rate=0.1))
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestFaultSpec:
+    def test_registry_covers_issue_kinds(self):
+        names = available_fault_models()
+        for kind in ("lognormal", "gaussian", "uniform", "stuckat", "bitflip",
+                     "composite"):
+            assert kind in names
+
+    def test_build_dispatches_severity(self):
+        drift = FaultSpec("lognormal").build(0.7)
+        assert isinstance(drift, LogNormalDrift) and drift.sigma == 0.7
+        stuck = FaultSpec("stuckat", params={"stuck_value": 1.5}).build(0.2)
+        assert isinstance(stuck, StuckAtFault)
+        assert stuck.probability == 0.2 and stuck.stuck_value == 1.5
+
+    def test_composite_parse_and_scale(self):
+        spec = FaultSpec.parse("composite:lognormal+stuckat")
+        assert spec.kind == "composite"
+        assert [c.kind for c in spec.components] == ["lognormal", "stuckat"]
+        scaled = FaultSpec("composite", components=(
+            FaultSpec("lognormal"), FaultSpec("stuckat", scale=0.1)))
+        built = scaled.build(1.0)
+        assert isinstance(built, CompositeFault)
+        assert built.models[1].probability == pytest.approx(0.1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            FaultSpec("made-up")
+
+    def test_bad_params_raise_labeled_error(self):
+        with pytest.raises(ValueError, match="bad parameters"):
+            FaultSpec("bitflip", params={"nonsense": 3}).build(0.1)
+
+    def test_json_round_trip(self):
+        spec = FaultSpec("composite", components=(
+            FaultSpec("gaussian", params={"relative": False}),
+            FaultSpec("stuckat", scale=0.5)))
+        assert FaultSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        """A typo'd key must not silently run a different fault model."""
+        with pytest.raises(ValueError, match="unknown FaultSpec fields"):
+            FaultSpec.from_dict({"kind": "gaussian",
+                                 "parameters": {"relative": False}})
+
+
+class TestScenarioSpec:
+    def test_json_round_trip_preserves_hash(self):
+        spec = tiny_spec(model_kwargs={"depth": 3},
+                         context={"figure": "fig2_dropout", "harness_seed": 1})
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored.to_dict() == spec.to_dict()
+        assert restored.spec_hash() == spec.spec_hash()
+
+    def test_hash_stable_across_key_order(self):
+        spec = tiny_spec()
+        shuffled = dict(reversed(list(spec.to_dict().items())))
+        # A JSON file whose keys arrive in any order names the same cell.
+        assert ScenarioSpec.from_dict(
+            json.loads(json.dumps(shuffled))).spec_hash() == spec.spec_hash()
+
+    def test_hash_ignores_scheduling_knobs(self):
+        base = tiny_spec()
+        assert tiny_spec(workers=4).spec_hash() == base.spec_hash()
+        assert tiny_spec(max_chunk_trials=1).spec_hash() == base.spec_hash()
+        config = ExperimentConfig(
+            epochs=1, train_samples=64, test_samples=32,
+            extra={"sweep_workers": 8, "sweep_chunk_trials": 2})
+        assert tiny_spec(train=config).spec_hash() == tiny_spec(
+            train=ExperimentConfig(epochs=1, train_samples=64,
+                                   test_samples=32)).spec_hash()
+
+    def test_hash_covers_result_determining_fields(self):
+        base = tiny_spec()
+        assert tiny_spec(seed=4).spec_hash() != base.spec_hash()
+        assert tiny_spec(fault=FaultSpec("gaussian")).spec_hash() != base.spec_hash()
+        assert tiny_spec(sigmas=(0.0, 0.9)).spec_hash() != base.spec_hash()
+        assert tiny_spec(trials=3).spec_hash() != base.spec_hash()
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_spec(sigmas=())
+        with pytest.raises(ValueError):
+            tiny_spec(trials=0)
+        with pytest.raises(ValueError):
+            tiny_spec(metric="bleu")
+
+
+class TestResultStore:
+    def _stored(self, tmp_path):
+        spec = tiny_spec()
+        runner = ScenarioRunner(ResultStore(tmp_path / "store"))
+        run = runner.run(spec)
+        return spec, runner.store, run
+
+    def test_save_load_round_trip(self, tmp_path):
+        spec, store, run = self._stored(tmp_path)
+        assert store.contains(spec)
+        loaded = store.load(spec)
+        assert loaded.means == run.report.means
+        assert loaded.trial_scores == run.report.trial_scores
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        spec, store, first = self._stored(tmp_path)
+        second = ScenarioRunner(store).run(spec)
+        assert not first.cached and second.cached
+        assert second.report.means == first.report.means
+
+    def test_corrupted_report_raises_labeled_error(self, tmp_path):
+        spec, store, _ = self._stored(tmp_path)
+        report_file = store.path_for(spec) / "report.json"
+        report_file.write_text(report_file.read_text()[:40])  # truncate
+        with pytest.raises(ResultStoreError, match="corrupted"):
+            store.load(spec)
+
+    def test_mistyped_report_fields_raise_labeled_error(self, tmp_path):
+        """Valid JSON with a scalar where a list belongs is corruption too,
+        not a bare TypeError escaping to the caller."""
+        spec, store, _ = self._stored(tmp_path)
+        report_file = store.path_for(spec) / "report.json"
+        tampered = json.loads(report_file.read_text())
+        tampered["sigmas"] = 0.5
+        report_file.write_text(json.dumps(tampered))
+        with pytest.raises(ResultStoreError, match="corrupted"):
+            store.load(spec)
+
+    def test_edited_spec_detected_by_hash_mismatch(self, tmp_path):
+        spec, store, _ = self._stored(tmp_path)
+        spec_file = store.path_for(spec) / "spec.json"
+        tampered = json.loads(spec_file.read_text())
+        tampered["seed"] = 999  # claims to be a different experiment
+        spec_file.write_text(json.dumps(tampered))
+        with pytest.raises(ResultStoreError, match="hashes to"):
+            store.load(spec)
+
+    def test_missing_file_raises(self, tmp_path):
+        spec, store, _ = self._stored(tmp_path)
+        (store.path_for(spec) / "meta.json").unlink()
+        assert not store.contains(spec)
+        with pytest.raises(ResultStoreError, match="missing meta.json"):
+            store.load(spec)
+
+    def test_missing_entry_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "empty")
+        with pytest.raises(ResultStoreError, match="no entry"):
+            store.load(tiny_spec())
+
+    def test_entries_iterates_and_validates(self, tmp_path):
+        spec, store, _ = self._stored(tmp_path)
+        entries = list(store.entries())
+        assert len(entries) == len(store) == 1
+        stored_spec, report, meta = entries[0]
+        assert stored_spec.spec_hash() == spec.spec_hash()
+        assert "volatile" in meta
+
+    def test_stale_staging_directories_are_invisible(self, tmp_path):
+        """Regression: a crash mid-save leaves `<hash>.tmp-<pid>` behind;
+        it must not surface as an entry or break report/compare."""
+        import shutil
+
+        spec, store, _ = self._stored(tmp_path)
+        entry = store.path_for(spec)
+        shutil.copytree(entry, entry.with_name(entry.name + ".tmp-9999"))
+        assert len(store) == 1
+        assert len(list(store.entries())) == 1  # does not raise
+
+
+class TestDeterminism:
+    def test_stored_report_bytes_identical_for_any_workers(self, tmp_path):
+        """The acceptance criterion: workers ∈ {0, 2} → same report.json."""
+        spec = tiny_spec()
+        payloads = {}
+        for workers in (0, 2):
+            store = ResultStore(tmp_path / f"store-w{workers}")
+            ScenarioRunner(store, workers=workers).run(spec)
+            payloads[workers] = (store.path_for(spec) / "report.json").read_bytes()
+        assert payloads[0] == payloads[2]
+
+    def test_volatile_fields_live_in_meta_not_report(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store")
+        ScenarioRunner(store).run(spec)
+        report = json.loads((store.path_for(spec) / "report.json").read_text())
+        meta = json.loads((store.path_for(spec) / "meta.json").read_text())
+        for field in VOLATILE_REPORT_FIELDS:
+            assert field not in report
+            assert field in meta["volatile"]
+
+
+class TestScenarioRunner:
+    def test_summary_reports_no_clean_accuracy_without_sigma_zero(self, tmp_path):
+        """A grid that never visits severity 0 has nothing 'clean' in it."""
+        spec = tiny_spec(sigmas=(0.5, 1.0))
+        run = ScenarioRunner(ResultStore(tmp_path / "store")).run(spec)
+        assert run.summary()["clean"] is None
+        run_with_zero = ScenarioRunner().run(tiny_spec())
+        assert run_with_zero.summary()["clean"] == run_with_zero.report.means[0]
+
+    def test_figure_cell_specs_cannot_be_executed_declaratively(self):
+        spec = tiny_spec(context={"figure": "fig2_dropout"})
+        with pytest.raises(ValueError, match="figure-harness context"):
+            ScenarioRunner().run(spec)
+
+    def test_run_scenario_by_name_and_resume(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = ScenarioRunner(store).run_scenario("smoke")
+        again = ScenarioRunner(store).run_scenario("smoke")
+        assert [run.cached for run in first] == [False]
+        assert [run.cached for run in again] == [True]
+        assert again[0].report.means == first[0].report.means
+
+    def test_figure_harness_with_store_matches_plain_run(self, tmp_path):
+        """Store-backed and store-less runs produce bit-identical curves."""
+        from repro.experiments import run_dropout_ablation
+
+        config = ExperimentConfig(epochs=1, train_samples=64, test_samples=32,
+                                  drift_trials=2, sigma_grid=(0.0, 1.0),
+                                  batch_size=32, learning_rate=0.1)
+        plain = run_dropout_ablation(config, seed=0)
+        runner = ScenarioRunner(ResultStore(tmp_path / "store"))
+        stored = run_dropout_ablation(config, seed=0, runner=runner)
+        rerun = run_dropout_ablation(
+            config, seed=0, runner=ScenarioRunner(runner.store))
+        for a, b, c in zip(plain, stored, rerun):
+            assert a.means == b.means == c.means
+            assert a.stds == b.stds == c.stds
+        assert len(runner.store) == 3  # one cell per dropout variant
+
+    def test_figure_cell_hash_covers_call_site_variants(self, tmp_path):
+        """Regression: the harness threads one RNG through every variant, so
+        a call that runs a *subset* of variants trains different weights for
+        the same label — its cells must not be answered from a store filled
+        by the full-variant call."""
+        from repro.experiments import run_dropout_ablation, run_depth_ablation
+
+        config = ExperimentConfig(epochs=1, train_samples=64, test_samples=32,
+                                  drift_trials=1, sigma_grid=(0.0, 1.0),
+                                  batch_size=32, learning_rate=0.1)
+        store = ResultStore(tmp_path / "store")
+        run_depth_ablation(config, seed=0, depths=(3, 6),
+                           runner=ScenarioRunner(store))
+        subset_runner = ScenarioRunner(store)
+        run_depth_ablation(config, seed=0, depths=(6,), runner=subset_runner)
+        assert [run.cached for run in subset_runner.runs] == [False]
+
+        # Different figures sharing a label/config never collide either.
+        dropout_runner = ScenarioRunner(store)
+        run_dropout_ablation(config, seed=0, runner=dropout_runner)
+        assert not any(run.cached for run in dropout_runner.runs)
+
+    def test_fig3_cell_hash_covers_method_subset(self, tmp_path):
+        from repro.experiments.fig3_classification import _cell_spec
+
+        config = ExperimentConfig.fast()
+        full = _cell_spec("a_mlp_mnist", "ERM", "mlp", "mnist", config, 0,
+                          methods=("erm", "bayesft"))
+        subset = _cell_spec("a_mlp_mnist", "ERM", "mlp", "mnist", config, 0,
+                            methods=("erm",))
+        assert full.spec_hash() != subset.spec_hash()
+
+    def test_scenario_registry_contents(self):
+        names = available_scenarios()
+        assert "smoke" in names and "fault_matrix" in names
+        assert "fig2_dropout" in names and "fig3_b_lenet_mnist" in names
+        scenario = get_scenario("fault_matrix")
+        faults = {spec.fault.describe() for spec in scenario.cells()}
+        assert {"lognormal", "gaussian", "uniform", "stuckat", "bitflip",
+                "composite:lognormal+stuckat"} <= faults
+
+    def test_register_scenario_validates_shape(self):
+        from repro.scenarios import register_scenario
+
+        with pytest.raises(ValueError, match="exactly one"):
+            register_scenario(Scenario(name="x-test-only",
+                                       description="no builder and no figure"))
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(get_scenario("smoke"))
+
+
+class TestCLI:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        assert "fault_matrix" in capsys.readouterr().out
+
+    def test_run_report_compare_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(["run", "smoke", "--out", out, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cells_executed"] == 1 and first["cells_cached"] == 0
+
+        assert main(["run", "smoke", "--out", out, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cells_cached"] >= 1  # the acceptance criterion
+
+        assert main(["report", "--out", out, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["cells"]) == 1
+        assert report["cells"][0]["name"] == "smoke-mlp-lognormal"
+
+        assert main(["compare", "smoke", "--out", out, "--json"]) == 0
+        compare = json.loads(capsys.readouterr().out)
+        assert compare["cells"][0]["fault"] == "lognormal"
+
+    def test_compare_requires_stored_cells(self, tmp_path):
+        with pytest.raises(SystemExit, match="not in"):
+            main(["compare", "smoke", "--out", str(tmp_path / "nothing")])
+
+    def test_compare_rejects_figure_scenarios(self, tmp_path):
+        with pytest.raises(SystemExit, match="figure"):
+            main(["compare", "fig2_dropout", "--out", str(tmp_path)])
+
+    def test_corrupted_store_reported_as_error(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(["run", "smoke", "--out", out]) == 0
+        store = ResultStore(out)
+        entry = next(iter(store.hashes()))
+        (store.root / entry / "report.json").write_text("{not json")
+        assert main(["report", "--out", out]) == 2
+        assert "corrupted" in capsys.readouterr().err

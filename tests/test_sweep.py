@@ -18,7 +18,7 @@ from repro.evaluation import (
 )
 from repro.fault.drift import (
     DriftModel, LogNormalDrift, GaussianDrift, UniformDrift, StuckAtFault,
-    BitFlipFault,
+    BitFlipFault, CompositeFault,
 )
 from repro.fault.injector import FaultInjector
 from repro.models import build_mlp, TinyDetector
@@ -39,6 +39,7 @@ class TestSampleBatch:
     @pytest.mark.parametrize("drift", [
         LogNormalDrift(0.7), GaussianDrift(0.4), UniformDrift(0.5),
         StuckAtFault(0.2), BitFlipFault(0.05),
+        CompositeFault(LogNormalDrift(0.5), StuckAtFault(0.1)),
     ])
     def test_batch_matches_sequential_perturb_stream(self, drift):
         """One vectorized call draws the same stream as n perturb calls."""
@@ -197,6 +198,53 @@ class TestDriftSweepEngine:
                                  trials=2, rng=0)
         assert result["sigmas"] == [0.0, 0.5]
         assert all(0.0 <= m <= 1.0 for m in result["means"])
+
+
+class TestNonDriftFaultSweeps:
+    """The whole fault zoo rides the engine's determinism contract.
+
+    FTT-NAS-style fault matrices need stuck-at/bit-flip/composite sweeps to
+    be exactly as reproducible as the paper's log-normal drift: seeded runs
+    must be bit-identical for any worker count and any chunk size.
+    """
+
+    FACTORIES = {
+        "stuckat": lambda severity: StuckAtFault(severity),
+        "bitflip": lambda severity: BitFlipFault(severity, bits=8),
+        "composite": lambda severity: CompositeFault(
+            LogNormalDrift(severity), StuckAtFault(0.1 * severity)),
+    }
+    GRIDS = {
+        "stuckat": (0.0, 0.1, 0.25),
+        "bitflip": (0.0, 0.02, 0.05),
+        "composite": (0.0, 0.5, 1.0),
+    }
+
+    def _run(self, trained, kind, workers=0, max_chunk_trials=None):
+        model, test_set = trained
+        engine = DriftSweepEngine(model, test_set, trials=3, rng=31,
+                                  workers=workers,
+                                  max_chunk_trials=max_chunk_trials,
+                                  drift_factory=self.FACTORIES[kind])
+        return engine.run(self.GRIDS[kind], label=kind)
+
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    def test_bit_identical_for_workers_and_chunks(self, trained, kind):
+        base = self._run(trained, kind)
+        for workers, max_chunk in ((0, 1), (0, 2), (2, None), (2, 2)):
+            other = self._run(trained, kind, workers, max_chunk)
+            assert other.trial_scores == base.trial_scores
+            assert other.means == base.means and other.stds == base.stds
+            assert other.n_evaluations == base.n_evaluations
+            assert other.cache_hits == base.cache_hits
+
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    def test_zero_severity_collapses_to_one_evaluation(self, trained, kind):
+        """Every zero-severity fault declares is_deterministic() and is
+        drawn, hashed and evaluated once per grid point."""
+        report = self._run(trained, kind)
+        assert report.cache_hits >= report.trials - 1
+        assert report.stds[0] == 0.0
 
 
 def _metrics_eval(model, data):

@@ -72,3 +72,26 @@ class TestExperimentConfig:
         as_dict = config.to_dict()
         assert as_dict["epochs"] == 7
         assert as_dict["extra"]["gamma"] == 0.5
+
+    def test_from_dict_is_symmetric_with_to_dict(self):
+        config = ExperimentConfig(epochs=7, sigma_grid=(0.0, 0.4, 1.1),
+                                  extra={"gamma": 0.5})
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_survives_json(self):
+        """JSON turns the sigma_grid tuple into a list; from_dict restores it."""
+        import json
+
+        config = ExperimentConfig.fast()
+        restored = ExperimentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+        assert isinstance(restored.sigma_grid, tuple)
+
+    def test_from_dict_accepts_partial_dicts(self):
+        config = ExperimentConfig.from_dict({"epochs": 3})
+        assert config.epochs == 3
+        assert config.batch_size == ExperimentConfig().batch_size
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ExperimentConfig fields"):
+            ExperimentConfig.from_dict({"epochs": 3, "epocks": 5})
