@@ -15,13 +15,15 @@ substrate:
 * :mod:`repro.data` — synthetic stand-ins for MNIST/CIFAR-10/GTSRB/PennFudanPed;
 * :mod:`repro.evaluation` / :mod:`repro.experiments` — robustness sweeps and
   per-figure harnesses;
+* :mod:`repro.execution` — pluggable execution backends (serial, process
+  pool, shared-memory weight shipping) and scenario-cell fan-out;
 * :mod:`repro.scenarios` — declarative experiment cells, the fault-model and
   scenario registries, the on-disk result store and the ``python -m repro``
   CLI.
 """
 
 from . import nn, models, fault, reram, bayesopt, core, baselines, data, evaluation
-from . import training, experiments, scenarios, utils
+from . import execution, training, experiments, scenarios, utils
 from .core import BayesFT
 from .utils.config import ExperimentConfig
 from .utils.rng import seed_everything
@@ -30,7 +32,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "nn", "models", "fault", "reram", "bayesopt", "core", "baselines", "data",
-    "evaluation", "training", "experiments", "scenarios", "utils",
+    "evaluation", "execution", "training", "experiments", "scenarios", "utils",
     "BayesFT", "ExperimentConfig", "seed_everything",
     "__version__",
 ]

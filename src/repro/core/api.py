@@ -52,6 +52,12 @@ class BayesFT:
         Bound on how many drifted weight copies the inner objective
         materialises at once (``None`` = all ``monte_carlo_samples``);
         bounds memory for deep models without changing any seeded result.
+    sweep_backend:
+        Execution backend for the inner objective's sweeps (``None``
+        derives it from ``sweep_workers``; or a :mod:`repro.execution`
+        name such as ``"shared_memory"``, which ships each trial's weight
+        copies to the workers as shared-memory offset tables instead of
+        pickled arrays).  Never changes seeded results.
     warm_start:
         If True (default) each trial fine-tunes the current weights; if
         False every trial retrains from the initial weights.
@@ -67,7 +73,7 @@ class BayesFT:
                  weight_optimizer: str = "sgd",
                  max_dropout_rate: float = 0.9, optimizer_kind: str = "bayes",
                  sweep_workers: int = 0, max_chunk_trials: int | None = None,
-                 warm_start: bool = True, rng=None):
+                 sweep_backend=None, warm_start: bool = True, rng=None):
         if not 0.0 < validation_fraction < 1.0:
             raise ValueError("validation_fraction must lie in (0, 1)")
         self.sigma = sigma
@@ -84,6 +90,7 @@ class BayesFT:
         self.optimizer_kind = optimizer_kind
         self.sweep_workers = sweep_workers
         self.max_chunk_trials = max_chunk_trials
+        self.sweep_backend = sweep_backend
         self.warm_start = warm_start
         self.rng = get_rng(rng)
         self.search_: BayesFTSearch | None = None
@@ -102,7 +109,8 @@ class BayesFT:
             validation_dataset, sigma=self.sigma,
             monte_carlo_samples=self.monte_carlo_samples, metric=self.metric,
             sweep_workers=self.sweep_workers,
-            max_chunk_trials=self.max_chunk_trials, rng=self.rng)
+            max_chunk_trials=self.max_chunk_trials,
+            sweep_backend=self.sweep_backend, rng=self.rng)
         self.search_ = BayesFTSearch(
             search_space, objective, train_set,
             epochs_per_trial=self.epochs_per_trial, batch_size=self.batch_size,

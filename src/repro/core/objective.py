@@ -72,6 +72,13 @@ class DriftMarginalizedObjective:
         Worker processes for the inner sweep: ``0``/``1`` evaluates the
         Monte-Carlo draws serially, ``n >= 2`` fans them out over ``n``
         processes.  Seeded results are bit-identical either way.
+    sweep_backend:
+        Execution backend for the inner sweep (``None`` derives it from
+        ``sweep_workers``; otherwise a :mod:`repro.execution` registry name
+        such as ``"shared_memory"`` or a backend instance).  Never changes
+        results — the deep-model search uses shared-memory shipping so each
+        BO trial's ``T`` weight copies cross to the workers as offset
+        tables, not pickled arrays.
     max_chunk_trials:
         Bound on how many drifted weight copies are materialised at once
         while pre-drawing the ``T`` samples (``None`` = all at once); lets
@@ -89,7 +96,7 @@ class DriftMarginalizedObjective:
     def __init__(self, dataset: Dataset, sigma: float = 0.6,
                  monte_carlo_samples: int = 5, metric: str = "neg_loss",
                  max_batch: int = 512, rng=None, sweep_workers: int = 0,
-                 max_chunk_trials: int | None = None):
+                 max_chunk_trials: int | None = None, sweep_backend=None):
         if monte_carlo_samples < 1:
             raise ValueError("monte_carlo_samples must be at least 1")
         if metric not in ("neg_loss", "accuracy"):
@@ -104,6 +111,7 @@ class DriftMarginalizedObjective:
         self.rng = get_rng(rng)
         self.sweep_workers = int(sweep_workers)
         self.max_chunk_trials = max_chunk_trials
+        self.sweep_backend = sweep_backend
         # Digest -> (accuracy, loss), persisted across evaluate() calls so
         # repeated weight states across BO trials are never re-evaluated.
         self._shared_cache: dict = {}
@@ -129,6 +137,7 @@ class DriftMarginalizedObjective:
     def _engine(self, model: Module, batch: Dataset) -> DriftSweepEngine:
         return DriftSweepEngine(model, batch, trials=self.monte_carlo_samples,
                                 workers=self.sweep_workers,
+                                backend=self.sweep_backend,
                                 max_chunk_trials=self.max_chunk_trials,
                                 rng=self.rng, evaluate_fn=_batch_metrics,
                                 shared_cache=self._shared_cache)

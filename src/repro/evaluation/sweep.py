@@ -19,9 +19,10 @@ drift and re-runs the full test set once per (σ, trial) pair with zero reuse.
 3. **Single snapshot** — the clean weights are snapshotted once per sweep
    (:meth:`FaultInjector.multi_trial`), not once per trial, and restored even
    if an evaluation raises mid-sweep.
-4. **Parallel evaluation** — trials run under ``concurrent.futures``
-   process-level parallelism (``workers`` configurable, serial fallback on
-   any pool failure), plus an inference cache keyed on the drifted weight
+4. **Pluggable execution** — evaluation is scheduled through an
+   :class:`~repro.execution.ExecutionBackend` (serial, pickled process
+   pool, or shared-memory weight shipping; any out-of-process failure
+   degrades to serial), plus an inference cache keyed on the drifted weight
    bytes so bit-identical trials (every σ=0 trial, for instance) are
    evaluated exactly once.  A caller-owned ``shared_cache`` extends the
    cache across engine runs — the BayesFT inner objective reuses it across
@@ -44,15 +45,15 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
-import multiprocessing
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..execution import EvalContext, resolve_backend
+from ..execution.base import split_metrics as _split_metrics
 from ..fault.drift import DriftModel, LogNormalDrift
 from ..fault.injector import FaultInjector
 from ..fault.policy import LayerFaultPolicy
@@ -65,55 +66,6 @@ __all__ = ["DriftSweepEngine", "SweepReport", "classification_accuracy"]
 def classification_accuracy(model, data, batch_size: int = 256) -> float:
     """Default evaluation function: clean classification accuracy."""
     return accuracy(model, data, batch_size=batch_size)
-
-
-def _split_metrics(value) -> tuple[float, float | None]:
-    """Normalise an ``evaluate_fn`` result to ``(score, loss-or-None)``.
-
-    An evaluation function may return a bare float (score only, the classic
-    accuracy path) or a ``(score, loss)`` pair (the objective path, which
-    needs both Eq.-3 losses and figure-ready accuracies from one forward
-    pass).
-    """
-    if isinstance(value, (tuple, list)):
-        if len(value) != 2:
-            raise TypeError(
-                "evaluate_fn must return a float score or a (score, loss) "
-                f"pair; got a sequence of length {len(value)}")
-        return float(value[0]), float(value[1])
-    return float(value), None
-
-
-# --------------------------------------------------------------------------- #
-# Worker-process plumbing.  The model and dataset are shipped once per worker
-# (via the pool initializer); each task then carries only the drifted
-# parameter arrays for one trial.
-# --------------------------------------------------------------------------- #
-_WORKER_STATE: dict = {}
-
-
-def _init_worker(model, data, evaluate_fn) -> None:
-    # The model arrives clean (the pool is created before any trial is
-    # applied), so the worker-local injector snapshots the same clean state
-    # as the main process and apply_trial enforces the identical restore
-    # invariant: parameters absent from a trial reset to the snapshot, so a
-    # worker that just ran a trial drifting a different parameter subset
-    # (per-σ policies) cannot leak stale weights into the next one.
-    injector = FaultInjector(model, LogNormalDrift(0.0))
-    injector.snapshot()
-    _WORKER_STATE["model"] = model
-    _WORKER_STATE["injector"] = injector
-    _WORKER_STATE["data"] = data
-    _WORKER_STATE["evaluate_fn"] = evaluate_fn
-
-
-def _run_trial(digest: str, params: dict) -> tuple[str, float, float | None, float]:
-    _WORKER_STATE["injector"].apply_trial(params)
-    start = time.perf_counter()
-    value = _WORKER_STATE["evaluate_fn"](_WORKER_STATE["model"],
-                                         _WORKER_STATE["data"])
-    score, loss = _split_metrics(value)
-    return digest, score, loss, time.perf_counter() - start
 
 
 def _weights_digest(params: dict) -> str:
@@ -133,6 +85,12 @@ class SweepReport:
     accuracy track plotted in Figs. 2–3).  When the engine's ``evaluate_fn``
     also reports a loss, ``loss_means``/``loss_stds``/``trial_losses`` carry
     the Eq.-3 loss track; they are empty lists otherwise.
+
+    :attr:`VOLATILE_FIELDS` names the fields that legitimately vary between
+    bit-identical runs (scheduling, shipping and timing);
+    :meth:`canonical_dict` / ``to_json(canonical=True)`` drop them, giving
+    the byte-comparable projection the result store persists and the
+    backend-equivalence tests diff.
     """
 
     label: str
@@ -145,14 +103,24 @@ class SweepReport:
     trial_losses: list = field(default_factory=list)  # per-σ list of per-trial losses
     trials: int = 0
     workers: int = 1          # worker processes actually used (1 = serial)
-    backend: str = "serial"   # "serial" or "process"
+    backend: str = "serial"   # "serial", "process" or "shared_memory"
     fallback_reason: str = ""  # why a requested parallel run degraded to serial
     n_evaluations: int = 0    # model evaluations actually run (after caching)
     cache_hits: int = 0       # trials answered from the inference cache
     max_chunk_trials: int | None = None  # chunk bound the sweep ran with
     peak_resident_trials: int = 0  # most weight copies materialised at once
+    tasks_shipped: int = 0    # trials sent to worker processes
+    bytes_shipped: int = 0    # payload bytes those tasks carried
     elapsed_seconds: float = 0.0
     per_sigma_seconds: list = field(default_factory=list)  # summed eval time per σ
+
+    #: Fields that vary between bit-identical runs of the same seeded sweep
+    #: (scheduling, shipping and timing); everything else is deterministic.
+    VOLATILE_FIELDS = (
+        "workers", "backend", "fallback_reason", "elapsed_seconds",
+        "per_sigma_seconds", "max_chunk_trials", "peak_resident_trials",
+        "tasks_shipped", "bytes_shipped",
+    )
 
     def curve(self) -> RobustnessCurve:
         """The sweep as the classic accuracy-vs-σ curve (Fig. 2/3 series)."""
@@ -173,11 +141,30 @@ class SweepReport:
             "cache_hits": self.cache_hits,
             "max_chunk_trials": self.max_chunk_trials,
             "peak_resident_trials": self.peak_resident_trials,
+            "tasks_shipped": self.tasks_shipped,
+            "bytes_shipped": self.bytes_shipped,
             "elapsed_seconds": self.elapsed_seconds,
             "per_sigma_seconds": list(self.per_sigma_seconds),
         }
 
-    def to_json(self, indent: int | None = None) -> str:
+    def canonical_dict(self) -> dict:
+        """The deterministic projection: :attr:`VOLATILE_FIELDS` removed.
+
+        Two seeded sweeps of the same model/data/grid agree on this dict
+        byte for byte regardless of backend, worker count or chunk size.
+        """
+        data = self.as_dict()
+        for key in self.VOLATILE_FIELDS:
+            data.pop(key, None)
+        return data
+
+    def to_json(self, indent: int | None = None, canonical: bool = False) -> str:
+        """Serialize; ``canonical=True`` gives the sorted-key deterministic
+        projection (used by the result store and the backend-equivalence
+        tests), ``False`` the full record including volatile stats."""
+        if canonical:
+            return json.dumps(self.canonical_dict(), indent=indent,
+                              sort_keys=True)
         return json.dumps(self.as_dict(), indent=indent)
 
     @classmethod
@@ -215,6 +202,16 @@ class DriftSweepEngine:
         ``0``/``1`` evaluates serially; ``n >= 2`` spreads trials over ``n``
         worker processes.  Seeded results are bit-identical either way
         because all randomness is pre-drawn in the main process.
+    backend:
+        Where trial evaluations run: ``None`` derives the backend from
+        ``workers`` (the historical behaviour), or pass an
+        :mod:`repro.execution` registry name (``"serial"``, ``"process"``,
+        ``"shared_memory"``) or an :class:`~repro.execution.ExecutionBackend`
+        instance.  Backends never change results — they receive
+        fully-materialised weights and consume no randomness — so the choice
+        trades only shipping cost against parallelism.  Out-of-process
+        backend failures degrade the rest of the sweep to serial evaluation
+        (recorded in ``SweepReport.fallback_reason``).
     evaluate_fn:
         ``f(model, data) -> float`` or ``f(model, data) -> (score, loss)``,
         run per trial; must be picklable for the process backend.  Defaults
@@ -246,7 +243,8 @@ class DriftSweepEngine:
                  skip: Sequence[str] = (), cache: bool = True,
                  shared_cache: dict | None = None,
                  max_chunk_trials: int | None = None,
-                 evaluate_fn: Callable | None = None):
+                 evaluate_fn: Callable | None = None,
+                 backend=None):
         if trials < 1:
             raise ValueError("trials must be at least 1")
         if workers < 0:
@@ -278,6 +276,9 @@ class DriftSweepEngine:
         self.max_chunk_trials = None if max_chunk_trials is None else int(max_chunk_trials)
         self.evaluate_fn = evaluate_fn or functools.partial(
             classification_accuracy, batch_size=self.batch_size)
+        self.backend = backend
+        # Fail fast on an unknown backend name; each run() resolves afresh.
+        resolve_backend(self.backend, workers=self.workers)
 
     # ------------------------------------------------------------------ #
     def _drift_for(self, sigma: float) -> DriftModel | LayerFaultPolicy:
@@ -303,11 +304,11 @@ class DriftSweepEngine:
         eval_seconds: dict[str, float] = {}
         cache_hits = 0
         n_evaluations = 0
-        backend = "serial"
-        workers_used = 1
         fallback_reason = ""
-        pool = None
-        pool_broken = False
+        backend = resolve_backend(self.backend, workers=self.workers)
+        backend.open(EvalContext(model=self.model, data=self.data,
+                                 evaluate_fn=self.evaluate_fn))
+        backend_broken = False
         if self.shared_cache:
             for digest, (score, loss) in self.shared_cache.items():
                 scores[digest] = score
@@ -355,31 +356,30 @@ class DriftSweepEngine:
                             trial_index += count
                             continue
 
-                        # 3. Evaluate this chunk's unique weight sets, in
-                        #    parallel when asked and worthwhile.
-                        if (self.workers >= 2 and not pool_broken
-                                and len(pending) > 1):
+                        # 3. Evaluate this chunk's unique weight sets through
+                        #    the execution backend.  In-process evaluation
+                        #    errors propagate; an out-of-process backend that
+                        #    breaks (pool setup, pickling, a dead worker)
+                        #    degrades the rest of the sweep to serial.
+                        if not backend_broken:
                             try:
-                                if pool is None:
-                                    pool = self._make_pool(
-                                        min(self.workers, len(pending)))
-                                futures = [pool.submit(_run_trial, digest, params)
-                                           for digest, params in pending.items()]
-                                for future in futures:
-                                    digest, score, loss, seconds = future.result()
-                                    scores[digest] = score
-                                    losses[digest] = loss
-                                    eval_seconds[digest] = seconds
+                                for result in backend.run_trials(
+                                        pending, injector.apply_trial):
+                                    scores[result.digest] = result.score
+                                    losses[result.digest] = result.loss
+                                    eval_seconds[result.digest] = result.seconds
                                     n_evaluations += 1
-                                backend = "process"
-                                workers_used = pool._max_workers
                             except Exception as error:
-                                pool_broken = True
+                                if not backend.out_of_process:
+                                    raise
+                                backend_broken = True
                                 fallback_reason = f"{type(error).__name__}: {error}"
                                 warnings.warn(
                                     f"parallel sweep fell back to serial "
                                     f"evaluation ({fallback_reason})",
                                     RuntimeWarning, stacklevel=2)
+                        # Serial completion of anything the backend did not
+                        # answer (everything, once it is broken).
                         for digest, params in pending.items():
                             if digest in scores:
                                 continue
@@ -396,8 +396,7 @@ class DriftSweepEngine:
                             digest_of[(sigma_index, extra)] = digest
                             cache_hits += 1
         finally:
-            if pool is not None:
-                pool.shutdown()
+            backend.close()
 
         if self.shared_cache is not None:
             for digest in first_key:
@@ -406,11 +405,14 @@ class DriftSweepEngine:
         # 4. Stream per-trial scores into the aggregate curve/report.
         has_losses = all(losses[digest] is not None for digest in digest_of.values())
         report = SweepReport(label=label, trials=self.trials,
-                             workers=workers_used, backend=backend,
+                             workers=backend.workers_used,
+                             backend=backend.used_backend,
                              fallback_reason=fallback_reason,
                              n_evaluations=n_evaluations, cache_hits=cache_hits,
                              max_chunk_trials=self.max_chunk_trials,
-                             peak_resident_trials=injector.peak_resident_trials)
+                             peak_resident_trials=injector.peak_resident_trials,
+                             tasks_shipped=backend.tasks_shipped,
+                             bytes_shipped=backend.bytes_shipped)
         for sigma_index, sigma in enumerate(sigmas):
             per_trial = [scores[digest_of[(sigma_index, trial_index)]]
                          for trial_index in range(self.trials)]
@@ -430,23 +432,3 @@ class DriftSweepEngine:
                 report.trial_losses.append(per_loss)
         report.elapsed_seconds = round(time.perf_counter() - start, 6)
         return report
-
-    # ------------------------------------------------------------------ #
-    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
-        """One worker pool per run, reused across chunks and σ grid points.
-
-        ``workers`` is capped by the first parallel chunk's unique-trial
-        count, so no process is forked (and pays the model/data initializer
-        cost) without work to do.  Workers receive the clean model/data once
-        via the pool initializer; each task ships only one trial's drifted
-        arrays.  Any pool failure (setup, pickling, a dead worker) is caught
-        at the submit site in :meth:`run`, which falls back to serial
-        evaluation for the remaining trials and records
-        ``SweepReport.fallback_reason``.
-        """
-        context = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else None)
-        return ProcessPoolExecutor(
-            max_workers=workers, mp_context=context,
-            initializer=_init_worker,
-            initargs=(self.model, self.data, self.evaluate_fn))

@@ -1,0 +1,38 @@
+"""Pluggable execution layer: where fault-trial evaluations actually run.
+
+The measurement layer (:class:`~repro.evaluation.sweep.DriftSweepEngine`)
+decides *what* to evaluate — pre-drawn, deduplicated, content-addressed
+fault trials — and this package decides *where*:
+
+* :class:`SerialBackend` — in the calling process (the default, and the
+  universal fallback);
+* :class:`ProcessPoolBackend` — a fork/spawn worker pool with one pickled
+  trial per task (model/data shipped once per worker);
+* :class:`SharedMemoryBackend` — the same pool, but each chunk's weight
+  arrays are published once via ``multiprocessing.shared_memory`` and tasks
+  carry only ``(digest, segment, offset-table)`` messages, cutting per-task
+  shipping from megabytes to kilobytes on deep models.
+
+Because backends receive fully-materialised weights and consume no
+randomness, seeded results are bit-identical across every backend and
+worker count.  :func:`resolve_backend` maps configuration (``None``, a
+registry name, or an instance) to a backend, and :mod:`repro.execution.cells`
+applies the same idea one level up: fanning independent scenario cells over
+a worker pool.
+"""
+
+from .base import (
+    EvalContext, ExecutionBackend, TrialResult,
+    available_backends, register_backend, resolve_backend,
+)
+from .serial import SerialBackend
+from .process import ProcessPoolBackend
+from .shared import SharedMemoryBackend
+from .cells import run_cells
+
+__all__ = [
+    "EvalContext", "ExecutionBackend", "TrialResult",
+    "available_backends", "register_backend", "resolve_backend",
+    "SerialBackend", "ProcessPoolBackend", "SharedMemoryBackend",
+    "run_cells",
+]

@@ -1,0 +1,116 @@
+"""Scenario-cell fan-out: run independent declarative cells over a pool.
+
+Scenario matrices (``fault_matrix``, ``dataset_matrix``, …) are embarrassingly
+parallel: every declarative :class:`~repro.scenarios.spec.ScenarioSpec` cell
+is seeded by its own ``spec.seed`` and touches nothing shared except the
+content-addressed result store, whose atomic staging-directory writes are
+already safe under concurrent writers.  This module ships whole *cells* —
+a few kilobytes of spec JSON each — to worker processes, in contrast to the
+trial backends which ship drifted weights; each worker trains, sweeps and
+saves its cell into the store, so a matrix fill-in killed at any point
+resumes from whatever cells finished.
+
+Kept inside :mod:`repro.execution` (not :mod:`repro.scenarios`) so the two
+fan-out granularities — trials within a sweep, cells within a matrix — live
+behind one execution layer.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+from .process import _pool_context
+
+__all__ = ["run_cells", "CELL_BACKENDS"]
+
+#: Cell fan-out ships declarative specs, not weight arrays, so only the
+#: generic pool applies; asking for ``shared_memory`` here is a category
+#: error the caller should hear about.
+CELL_BACKENDS = ("serial", "process")
+
+
+class _PoolBroke(Exception):
+    """Internal marker: the *pool* failed, not a cell.
+
+    Raised around pool construction/submission (fork limits, pickling) and
+    on :class:`BrokenExecutor` from a result — the cases where re-running
+    the remaining cells in-process can actually succeed.  A deterministic
+    error raised *by a cell's own execution* surfaces from
+    ``future.result()`` with its original type and must propagate
+    unchanged: retrying it serially would only fail again, after wasted
+    training.  Classifying by *where* the exception came from (submission
+    vs a completed task) rather than by type is what keeps e.g. a cell's
+    ``OSError`` (disk full while saving to the store) from being mistaken
+    for pool breakage.
+    """
+
+    def __init__(self, error: BaseException):
+        super().__init__(f"{type(error).__name__}: {error}")
+        self.error = error
+
+
+def _execute_cell(spec_payload: dict, store_root: str | None,
+                  scenario: str | None, runner_kwargs: dict) -> dict:
+    """Worker task: execute one declarative cell, persist it, return it.
+
+    Runs in a child process, so everything crosses as plain data.  The cell
+    executes exactly the code path :meth:`ScenarioRunner.run` uses in the
+    parent — same registries, same seeding, same store writes, same
+    scheduling overrides (``runner_kwargs`` carries the parent runner's
+    ``workers``/``max_chunk_trials``/``backend``) — which is what keeps
+    fanned-out matrices bit-identical to serial ones.
+    """
+    from ..scenarios.runner import ScenarioRunner
+    from ..scenarios.spec import ScenarioSpec
+    from ..scenarios.store import ResultStore
+
+    spec = ScenarioSpec.from_dict(spec_payload)
+    store = None if store_root is None else ResultStore(store_root)
+    runner = ScenarioRunner(store, **runner_kwargs)
+    run = runner.run(spec, scenario=scenario)
+    return {"report": run.report.as_dict(), "cached": run.cached,
+            "elapsed_seconds": run.elapsed_seconds}
+
+
+def run_cells(specs, store_root: str | None, scenario: str | None,
+              workers: int, runner_kwargs: dict | None = None) -> list[dict]:
+    """Execute cells over ``workers`` processes; results in ``specs`` order.
+
+    A *pool* failure (fork limits, pickling, a dead worker) degrades the
+    remaining cells to in-process execution with a warning — the same
+    contract as the trial backends — so a matrix run always completes.  An
+    error raised by a cell itself is deterministic and propagates unchanged
+    (re-running it serially would only fail again, after wasted work).
+    """
+    payloads = [spec.to_dict() for spec in specs]
+    runner_kwargs = dict(runner_kwargs or {})
+    results: list[dict | None] = [None] * len(specs)
+    try:
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(specs)),
+                                     mp_context=_pool_context()) as pool:
+                try:
+                    futures = {pool.submit(_execute_cell, payload, store_root,
+                                           scenario, runner_kwargs):
+                               index for index, payload in enumerate(payloads)}
+                except Exception as error:  # submission/fork-time failure
+                    raise _PoolBroke(error) from error
+                for future, index in futures.items():
+                    try:
+                        results[index] = future.result()
+                    except BrokenExecutor as error:
+                        raise _PoolBroke(error) from error
+        except _PoolBroke:
+            raise
+        except BrokenExecutor as error:
+            # The pool can also break while its context manager shuts down.
+            raise _PoolBroke(error) from error
+    except _PoolBroke as broke:
+        warnings.warn(f"cell fan-out fell back to serial execution "
+                      f"({broke})", RuntimeWarning, stacklevel=2)
+        for index, payload in enumerate(payloads):
+            if results[index] is None:
+                results[index] = _execute_cell(payload, store_root, scenario,
+                                               runner_kwargs)
+    return results

@@ -1,0 +1,124 @@
+"""Worker-pool execution with pickled trial payloads.
+
+This is the fork/spawn pool that used to live inside
+``DriftSweepEngine._make_pool``, extracted behind the
+:class:`~repro.execution.base.ExecutionBackend` interface.  The model and
+dataset are shipped once per worker via the pool initializer; each task
+then pickles one trial's full drifted parameter arrays — simple and
+dependency-free, but for deep models the per-task pickling dominates
+(see :class:`~repro.execution.shared.SharedMemoryBackend` for the
+shared-memory alternative that ships only an offset table).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
+
+from .base import ExecutionBackend, TrialResult, register_backend, split_metrics
+
+__all__ = ["ProcessPoolBackend"]
+
+
+# --------------------------------------------------------------------------- #
+# Worker-process plumbing, module-level so the pool can pickle it.
+# --------------------------------------------------------------------------- #
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(model, data, evaluate_fn) -> None:
+    # The model arrives clean (the pool is created before any trial is
+    # applied), so the worker-local injector snapshots the same clean state
+    # as the main process and apply_trial enforces the identical restore
+    # invariant: parameters absent from a trial reset to the snapshot, so a
+    # worker that just ran a trial drifting a different parameter subset
+    # (per-σ policies) cannot leak stale weights into the next one.
+    from ..fault.drift import LogNormalDrift
+    from ..fault.injector import FaultInjector
+
+    injector = FaultInjector(model, LogNormalDrift(0.0))
+    injector.snapshot()
+    _WORKER_STATE["model"] = model
+    _WORKER_STATE["injector"] = injector
+    _WORKER_STATE["data"] = data
+    _WORKER_STATE["evaluate_fn"] = evaluate_fn
+
+
+def _run_pickled_trial(digest: str, params: dict) -> tuple[str, float, float | None, float]:
+    _WORKER_STATE["injector"].apply_trial(params)
+    start = time.perf_counter()
+    value = _WORKER_STATE["evaluate_fn"](_WORKER_STATE["model"],
+                                         _WORKER_STATE["data"])
+    score, loss = split_metrics(value)
+    return digest, score, loss, time.perf_counter() - start
+
+
+def _pool_context():
+    return multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None)
+
+
+@register_backend("process")
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan trials out over ``workers`` processes, one pickled trial per task.
+
+    The pool is created lazily on the first chunk with two or more unique
+    trials and capped by that chunk's size, so no process is forked (and
+    pays the model/data initializer cost) without work to do; single-trial
+    chunks always evaluate in-process.  Any pool failure propagates to the
+    engine, which degrades the rest of the sweep to serial evaluation.
+    """
+
+    name = "process"
+    out_of_process = True
+
+    def __init__(self, workers: int = 2):
+        super().__init__()
+        if workers < 2:
+            raise ValueError("a pool backend needs at least 2 workers; "
+                             "use SerialBackend for in-process evaluation")
+        self.workers = int(workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self, task_count: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = self.context
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, task_count),
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(context.model, context.data, context.evaluate_fn))
+        return self._pool
+
+    @staticmethod
+    def _task_bytes(digest: str, params: dict) -> int:
+        """Payload size of one pickled task: digest + names + array bytes."""
+        return (len(digest)
+                + sum(len(name) + arrays.nbytes
+                      for name, arrays in params.items()))
+
+    def run_trials(self, pending: dict[str, dict],
+                   apply_trial: Callable[[dict], None]) -> list[TrialResult]:
+        if len(pending) < 2:
+            return self._run_in_process(pending, apply_trial)
+        pool = self._ensure_pool(len(pending))
+        futures = [pool.submit(_run_pickled_trial, digest, params)
+                   for digest, params in pending.items()]
+        self.tasks_shipped += len(futures)
+        self.bytes_shipped += sum(self._task_bytes(digest, params)
+                                  for digest, params in pending.items())
+        results = []
+        for future in futures:
+            digest, score, loss, seconds = future.result()
+            results.append(TrialResult(digest, score, loss, seconds))
+        self.used_backend = self.name
+        self.workers_used = self._pool._max_workers
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None

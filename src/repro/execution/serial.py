@@ -1,0 +1,27 @@
+"""In-process execution: the measurement loop's historical behaviour."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import ExecutionBackend, TrialResult, register_backend
+
+__all__ = ["SerialBackend"]
+
+
+@register_backend("serial")
+class SerialBackend(ExecutionBackend):
+    """Evaluate every trial on the live model in the calling process.
+
+    Nothing is shipped anywhere, so ``bytes_shipped`` stays zero and
+    evaluation errors propagate to the caller unchanged.  This is both the
+    default backend for ``workers <= 1`` and the engine's fallback when an
+    out-of-process backend breaks mid-sweep.
+    """
+
+    name = "serial"
+    out_of_process = False
+
+    def run_trials(self, pending: dict[str, dict],
+                   apply_trial: Callable[[dict], None]) -> list[TrialResult]:
+        return self._run_in_process(pending, apply_trial)

@@ -1,0 +1,167 @@
+"""Shared-memory weight shipping: publish trials once, ship offset tables.
+
+The pickled :class:`~repro.execution.process.ProcessPoolBackend` serializes
+every trial's full drifted parameter arrays into its task message — for a
+PreAct-ResNet that is megabytes per task, and the pickling alone can cost
+more than the evaluation.  :class:`SharedMemoryBackend` instead publishes
+each chunk's flattened parameter block exactly once via
+``multiprocessing.shared_memory`` and ships only ``(digest, segment name,
+{parameter: (offset, shape)})`` per task; workers map the segment, copy
+their trial's arrays out of it, and evaluate as usual.  The arrays are
+bit-identical either way (float64 bytes are copied, never re-encoded), so
+the engine's determinism contract holds unchanged.
+
+Segment lifecycle: the main process creates one segment per
+``run_trials`` chunk and unlinks it as soon as the chunk's results are in;
+workers cache their attachment per segment name (closing the previous one
+when a new chunk arrives) and always copy out of the mapping, so no live
+array ever aliases an unlinked segment.  Workers also unregister attached
+segments from ``multiprocessing.resource_tracker`` — on CPython < 3.13 the
+tracker registers mere attachments and would try to double-unlink them at
+worker shutdown.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from multiprocessing import shared_memory
+from typing import Callable
+
+import numpy as np
+
+from .base import TrialResult, register_backend, split_metrics
+from .process import _WORKER_STATE, ProcessPoolBackend
+
+__all__ = ["SharedMemoryBackend"]
+
+#: ``{parameter name: (byte offset into the segment, array shape)}``
+OffsetTable = dict
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side plumbing.
+# --------------------------------------------------------------------------- #
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach(segment_name: str) -> shared_memory.SharedMemory:
+    """Attach to (and cache) one published segment, dropping stale ones."""
+    segment = _ATTACHED.get(segment_name)
+    if segment is None:
+        for stale in _ATTACHED.values():
+            stale.close()
+        _ATTACHED.clear()
+        segment = shared_memory.SharedMemory(name=segment_name)
+        import multiprocessing
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # Spawned workers run their own resource tracker, which (on
+            # CPython < 3.13) registers mere attachments and would try to
+            # unlink the parent's segment again at worker shutdown.  Forked
+            # workers share the parent's tracker, where the duplicate
+            # registration is a set no-op and unregistering here would make
+            # the parent's own unlink fail instead.
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass  # tracking semantics differ across versions; never fatal
+        _ATTACHED[segment_name] = segment
+    return segment
+
+
+def _run_shared_trial(digest: str, segment_name: str,
+                      table: OffsetTable) -> tuple[str, float, float | None, float]:
+    segment = _attach(segment_name)
+    params = {}
+    for name, (offset, shape) in table.items():
+        view = np.ndarray(shape, dtype=np.float64, buffer=segment.buf,
+                          offset=offset)
+        # Copy out of the mapping: apply_trial must never install an array
+        # aliasing a segment the main process is about to unlink.
+        params[name] = np.array(view)
+    _WORKER_STATE["injector"].apply_trial(params)
+    start = time.perf_counter()
+    value = _WORKER_STATE["evaluate_fn"](_WORKER_STATE["model"],
+                                         _WORKER_STATE["data"])
+    score, loss = split_metrics(value)
+    return digest, score, loss, time.perf_counter() - start
+
+
+@register_backend("shared_memory")
+class SharedMemoryBackend(ProcessPoolBackend):
+    """Worker-pool execution that ships offset tables instead of weights.
+
+    Inherits the pool lifecycle (lazy creation, single-trial chunks stay
+    in-process, failures degrade the sweep to serial) from
+    :class:`ProcessPoolBackend` and replaces only the task payload: per
+    chunk, all unique trials' arrays are packed into one shared-memory
+    segment, and each task carries a pickled ``(digest, segment name,
+    offset table)`` message of a few kilobytes regardless of model depth.
+    ``bytes_shipped`` counts those messages, which is exactly what the
+    ``BENCH_execution`` benchmark compares against the pickled pool.
+    """
+
+    name = "shared_memory"
+    out_of_process = True
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers=workers)
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    # ------------------------------------------------------------------ #
+    def _publish(self, pending: dict[str, dict]
+                 ) -> tuple[shared_memory.SharedMemory, dict[str, OffsetTable]]:
+        """Pack every pending trial into one segment; return offset tables."""
+        total = sum(int(arrays.nbytes) for params in pending.values()
+                    for arrays in params.values())
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        self._segments.append(segment)
+        tables: dict[str, OffsetTable] = {}
+        offset = 0
+        for digest, params in pending.items():
+            table: OffsetTable = {}
+            for name, arrays in params.items():
+                block = np.ascontiguousarray(arrays, dtype=np.float64)
+                flat = np.ndarray(block.shape, dtype=np.float64,
+                                  buffer=segment.buf, offset=offset)
+                flat[...] = block
+                table[name] = (offset, block.shape)
+                offset += block.nbytes
+            tables[digest] = table
+        return segment, tables
+
+    def _release(self, segment: shared_memory.SharedMemory) -> None:
+        segment.close()
+        segment.unlink()
+        self._segments.remove(segment)
+
+    def run_trials(self, pending: dict[str, dict],
+                   apply_trial: Callable[[dict], None]) -> list[TrialResult]:
+        if len(pending) < 2:
+            return self._run_in_process(pending, apply_trial)
+        pool = self._ensure_pool(len(pending))
+        segment, tables = self._publish(pending)
+        try:
+            futures = []
+            for digest in pending:
+                message = (digest, segment.name, tables[digest])
+                self.bytes_shipped += len(pickle.dumps(message))
+                futures.append(pool.submit(_run_shared_trial, *message))
+            self.tasks_shipped += len(futures)
+            results = []
+            for future in futures:
+                digest, score, loss, seconds = future.result()
+                results.append(TrialResult(digest, score, loss, seconds))
+        finally:
+            self._release(segment)
+        self.used_backend = self.name
+        self.workers_used = self._pool._max_workers
+        return results
+
+    def close(self) -> None:
+        super().close()
+        # A chunk that died mid-flight can leave its segment behind;
+        # closing the backend must never leak shared memory.
+        for segment in list(self._segments):
+            self._release(segment)

@@ -12,11 +12,15 @@ from .drift import (
     StuckAtFault, BitFlipFault, CompositeFault, drift_array,
 )
 from .injector import FaultInjector, inject_faults, fault_injection
-from .policy import LayerFaultPolicy, UniformPolicy, PerLayerSigmaPolicy
+from .policy import (
+    LayerFaultPolicy, UniformPolicy, PerLayerSigmaPolicy,
+    available_policies, build_policy, register_policy,
+)
 
 __all__ = [
     "DriftModel", "LogNormalDrift", "GaussianDrift", "UniformDrift",
     "StuckAtFault", "BitFlipFault", "CompositeFault", "drift_array",
     "FaultInjector", "inject_faults", "fault_injection",
     "LayerFaultPolicy", "UniformPolicy", "PerLayerSigmaPolicy",
+    "available_policies", "build_policy", "register_policy",
 ]

@@ -5,16 +5,25 @@ named parameter.  The paper drifts every weight identically (a
 :class:`UniformPolicy`), but per-layer policies are useful for the ablation
 benches (e.g. "what if only the first layer drifts?") and for modelling
 heterogeneous crossbars.
+
+Policies are also reachable *as data*: the string-keyed registry at the
+bottom (``uniform``, ``per_layer_sigma``) builds a policy from a severity
+grid point plus plain-JSON parameters, which is how a
+:class:`~repro.scenarios.spec.ScenarioSpec`'s ``policy`` field turns into
+the per-layer behaviour its sweep runs under.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Mapping
+from typing import Callable, Mapping
 
 from .drift import DriftModel, LogNormalDrift
 
-__all__ = ["LayerFaultPolicy", "UniformPolicy", "PerLayerSigmaPolicy"]
+__all__ = [
+    "LayerFaultPolicy", "UniformPolicy", "PerLayerSigmaPolicy",
+    "register_policy", "available_policies", "build_policy",
+]
 
 
 class LayerFaultPolicy:
@@ -65,3 +74,73 @@ class PerLayerSigmaPolicy(LayerFaultPolicy):
     def __repr__(self) -> str:
         rules = {p.pattern: m.sigma for p, m in self._rules}
         return f"PerLayerSigmaPolicy({rules}, default={self._default!r})"
+
+
+# --------------------------------------------------------------------------- #
+# Policy registry: string key -> builder(severity, fault, **params) -> policy.
+# ``severity`` is the scenario grid variable; ``fault`` is the cell's
+# FaultSpec, so a policy can defer "which distribution" to the fault registry
+# while deciding "which parameters, how strongly" itself.
+# --------------------------------------------------------------------------- #
+_POLICY_REGISTRY: dict[str, Callable[..., LayerFaultPolicy]] = {}
+
+
+def register_policy(name: str):
+    """Decorator registering ``builder(severity, fault, **params) -> policy``."""
+
+    def _register(builder: Callable[..., LayerFaultPolicy]):
+        key = name.lower()
+        if key in _POLICY_REGISTRY:
+            raise ValueError(f"fault policy {name!r} is already registered")
+        _POLICY_REGISTRY[key] = builder
+        return builder
+
+    return _register
+
+
+def available_policies() -> list[str]:
+    """Registered policy kinds accepted by :func:`build_policy`."""
+    return sorted(_POLICY_REGISTRY)
+
+
+def build_policy(kind: str, severity: float, fault, **params) -> LayerFaultPolicy:
+    """Instantiate a registered policy at one severity grid point."""
+    key = kind.lower()
+    if key not in _POLICY_REGISTRY:
+        raise ValueError(f"unknown fault policy {kind!r}; "
+                         f"available: {available_policies()}")
+    try:
+        return _POLICY_REGISTRY[key](float(severity), fault, **params)
+    except TypeError as error:
+        raise ValueError(f"bad parameters {params!r} for fault policy "
+                         f"{kind!r}: {error}") from error
+
+
+@register_policy("uniform")
+def _uniform(severity: float, fault) -> LayerFaultPolicy:
+    """Every parameter gets the cell's fault model — the paper's setting."""
+    return UniformPolicy(fault.build(severity))
+
+
+@register_policy("per_layer_sigma")
+def _per_layer_sigma(severity: float, fault, sigma_scales: Mapping[str, float],
+                     default_scale: float | None = None) -> LayerFaultPolicy:
+    """Eq.-1 drift whose σ is the grid severity scaled per layer pattern.
+
+    ``sigma_scales`` maps regex patterns to multipliers: a parameter whose
+    dotted name matches pattern ``p`` drifts with ``LogNormalDrift(severity
+    * sigma_scales[p])`` (first match wins); unmatched parameters use
+    ``severity * default_scale``, or stay clean when ``default_scale`` is
+    ``None``.  Scaling the *grid variable* keeps severity the x-axis of the
+    resulting curves.  Log-normal by construction, so the cell's fault kind
+    must be ``lognormal`` — any other kind would silently not be what the
+    sweep measures.
+    """
+    if fault is not None and getattr(fault, "kind", "lognormal") != "lognormal":
+        raise ValueError(
+            "per_layer_sigma is Eq.-1 log-normal drift with per-layer σ "
+            f"scaling; it cannot represent fault kind {fault.kind!r}")
+    sigma_map = {pattern: severity * float(scale)
+                 for pattern, scale in sigma_scales.items()}
+    default = None if default_scale is None else severity * float(default_scale)
+    return PerLayerSigmaPolicy(sigma_map, default_sigma=default)

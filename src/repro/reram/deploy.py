@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..execution import EvalContext, resolve_backend
 from ..fault.drift import DriftModel
 from ..fault.injector import FaultInjector
 from ..nn.module import Module
@@ -128,6 +129,10 @@ class DeploymentReport:
     equivalent_sigma: float = 0.0   # Eq.-1 σ implied by the device physics
     crossbar_tiles: int = 0         # tiles programmed across all parameters
     n_parameters: int = 0           # parameter arrays deployed
+    trials: int = 1                 # candidate realisations drawn
+    selected_trial: int = 0         # which candidate was programmed
+    candidate_scores: list = field(default_factory=list)  # per-candidate score
+    validation_score: float | None = None  # score of the deployed realisation
     elapsed_seconds: float = 0.0
 
     def mean_relative_error(self) -> float:
@@ -144,6 +149,10 @@ class DeploymentReport:
             "equivalent_sigma": self.equivalent_sigma,
             "crossbar_tiles": self.crossbar_tiles,
             "n_parameters": self.n_parameters,
+            "trials": self.trials,
+            "selected_trial": self.selected_trial,
+            "candidate_scores": list(self.candidate_scores),
+            "validation_score": self.validation_score,
             "elapsed_seconds": self.elapsed_seconds,
         }
 
@@ -184,29 +193,90 @@ class DeploymentReport:
 
 def deploy_on_reram(model: Module, config: DeviceConfig | None = None,
                     deployment_time: float = 1.0, rng=None,
-                    tile_rows: int = 128, tile_cols: int = 128) -> DeploymentReport:
+                    tile_rows: int = 128, tile_cols: int = 128,
+                    trials: int = 1, validate_data=None,
+                    evaluate_fn=None, backend=None) -> DeploymentReport:
     """Overwrite ``model``'s parameters with crossbar-realised values.
 
-    The realisation is drawn as one :meth:`FaultInjector.draw_trials` trial
+    Each realisation is drawn as a :meth:`FaultInjector.draw_trials` trial
     of a :class:`CrossbarRealization` drift model and written with
     :meth:`FaultInjector.apply_trial`, so the hardware path shares the
     snapshot/trial machinery (and determinism guarantees) of the drift
     sweeps.  The realised weights are left in place; the injector's clean
     snapshot is used only to measure the per-parameter error.
 
+    With ``trials > 1`` the deployment becomes program-and-verify: ``trials``
+    independent candidate realisations (programming noise differs per
+    attempt) are scored on ``validate_data`` through the pluggable
+    :mod:`repro.execution` layer — ``backend`` accepts the same selector as
+    :class:`~repro.evaluation.sweep.DriftSweepEngine` (``None``/name/
+    instance), so candidates for a deep model can be fanned out over a
+    shared-memory worker pool — and the best-scoring candidate is the one
+    programmed.  ``evaluate_fn`` defaults to classification accuracy.
+    Candidate draws are pre-drawn from the seeded injector, so the selected
+    realisation is bit-identical for any backend or worker count.
+
     Returns a :class:`DeploymentReport` with the per-parameter mean relative
-    errors, the device model's equivalent Eq.-1 σ and crossbar bookkeeping,
-    so callers (and tests) can verify the deployment actually perturbed the
-    weights.
+    errors, the device model's equivalent Eq.-1 σ, crossbar bookkeeping and
+    (when validated) the per-candidate scores, so callers (and tests) can
+    verify the deployment actually perturbed the weights.
     """
     start = time.perf_counter()
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    if trials > 1 and validate_data is None:
+        raise ValueError(
+            "program-and-verify deployment (trials > 1) needs validate_data "
+            "to score the candidate realisations")
     config = config or DeviceConfig()
     realization = CrossbarRealization(config, deployment_time,
                                       tile_rows=tile_rows, tile_cols=tile_cols)
     injector = FaultInjector(model, realization, rng=get_rng(rng))
     injector.snapshot()
-    trial = injector.draw_trials(1)
-    injector.apply_trial({name: arrays[0] for name, arrays in trial.items()})
+    batch = injector.draw_trials(trials)
+    candidates = [{name: arrays[index] for name, arrays in batch.items()}
+                  for index in range(trials)]
+
+    candidate_scores: list[float] = []
+    selected = 0
+    validation_score = None
+    if validate_data is not None:
+        if evaluate_fn is None:
+            from ..evaluation.sweep import classification_accuracy
+            evaluate_fn = classification_accuracy
+        exec_backend = resolve_backend(backend)
+        context = EvalContext(model=model, data=validate_data,
+                              evaluate_fn=evaluate_fn)
+        exec_backend.open(context)
+        pending = {f"candidate-{index}": params
+                   for index, params in enumerate(candidates)}
+        try:
+            results = exec_backend.run_trials(pending, injector.apply_trial)
+        except Exception as error:
+            if not exec_backend.out_of_process:
+                raise
+            # Same contract as the sweep engine: a broken pool degrades to
+            # serial scoring instead of failing the deployment.
+            import warnings
+
+            warnings.warn(f"deployment verification fell back to serial "
+                          f"evaluation ({type(error).__name__}: {error})",
+                          RuntimeWarning, stacklevel=2)
+            from ..execution import SerialBackend
+
+            exec_backend.close()
+            exec_backend = SerialBackend()
+            exec_backend.open(context)
+            results = exec_backend.run_trials(pending, injector.apply_trial)
+        finally:
+            exec_backend.close()
+        scores = {result.digest: result.score for result in results}
+        candidate_scores = [scores[f"candidate-{index}"]
+                            for index in range(trials)]
+        selected = int(np.argmax(candidate_scores))
+        validation_score = candidate_scores[selected]
+
+    injector.apply_trial(candidates[selected])
 
     errors: dict[str, float] = {}
     clean = injector.clean_parameters
@@ -221,5 +291,9 @@ def deploy_on_reram(model: Module, config: DeviceConfig | None = None,
         equivalent_sigma=DeviceVariationModel(config, deployment_time).effective_sigma(),
         crossbar_tiles=realization.tiles_programmed,
         n_parameters=len(errors),
+        trials=int(trials),
+        selected_trial=selected,
+        candidate_scores=candidate_scores,
+        validation_score=validation_score,
         elapsed_seconds=round(time.perf_counter() - start, 6),
     )

@@ -2,11 +2,15 @@
 
 Subcommands:
 
-* ``list`` — scenarios, fault models, models and datasets;
+* ``list`` — scenarios, fault models, models, datasets and execution
+  backends;
 * ``run`` — execute a scenario into an on-disk result store (finished
-  cells are skipped on re-runs);
+  cells are skipped on re-runs; ``--backend`` picks the trial execution
+  backend, ``--cell-workers`` fans a grid scenario's cells over worker
+  processes);
 * ``report`` — tabulate every cell stored under ``--out``;
-* ``compare`` — align the stored cells of two or more grid scenarios.
+* ``compare`` — align the stored cells of two or more grid scenarios;
+* ``gc`` — size accounting and garbage collection for long-lived stores.
 
 Everything prints human tables by default and JSON with ``--json``, so the
 CLI doubles as a machine interface for the benchmark suite and CI.
@@ -20,6 +24,7 @@ import sys
 
 from ..data.registry import available_datasets
 from ..evaluation.statistics import curve_auc
+from ..execution import available_backends
 from ..models.registry import available_models
 from ..utils.config import ExperimentConfig
 from .library import available_scenarios, get_scenario
@@ -45,7 +50,8 @@ def _cmd_list(args) -> int:
     payload = {"scenarios": rows,
                "fault_models": available_fault_models(),
                "models": available_models(),
-               "datasets": available_datasets()}
+               "datasets": available_datasets(),
+               "backends": available_backends()}
     lines = ["scenarios:"]
     for row in rows:
         cells = "harness" if row["cells"] is None else f"{row['cells']} cells"
@@ -54,6 +60,7 @@ def _cmd_list(args) -> int:
     lines.append(f"fault models: {', '.join(payload['fault_models'])}")
     lines.append(f"models:       {', '.join(payload['models'])}")
     lines.append(f"datasets:     {', '.join(payload['datasets'])}")
+    lines.append(f"backends:     {', '.join(payload['backends'])}")
     _emit(payload, args.json, "\n".join(lines))
     return 0
 
@@ -63,12 +70,16 @@ def _cmd_run(args) -> int:
     store = ResultStore(args.out)
     runner = ScenarioRunner(store, workers=args.workers,
                             max_chunk_trials=args.chunk_trials,
+                            backend=args.backend,
                             progress=None if args.json else print)
     # Figure scenarios default to the fast config (scenario.default_config);
     # --full runs the harness at its own full-scale default.  Grid cells
     # embed their training config in the spec and ignore this.
     config = ExperimentConfig() if args.full else None
-    runs = runner.run_scenario(args.scenario, config=config, seed=args.seed)
+    cell_backend = "process" if (args.cell_workers or 0) >= 2 else None
+    runs = runner.run_scenario(args.scenario, config=config, seed=args.seed,
+                               cell_backend=cell_backend,
+                               cell_workers=args.cell_workers)
     cached = sum(run.cached for run in runs)
     payload = {"scenario": args.scenario, "store": str(store.root),
                "cells": [run.summary() for run in runs],
@@ -160,6 +171,38 @@ def _cmd_compare(args) -> int:
 
 
 # --------------------------------------------------------------------------- #
+def _fmt_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB"):
+        if size < 1024:
+            return f"{count} B" if unit == "B" else f"{size:.1f} {unit}"
+        size /= 1024
+    return f"{size:.1f} GiB"
+
+
+def _cmd_gc(args) -> int:
+    store = ResultStore(args.out)
+    before = store.stats()
+    result = store.gc(keep_latest=args.keep_latest, dry_run=args.dry_run)
+    after = before if args.dry_run else store.stats()
+    payload = {"store": str(store.root), "before": before, "after": after,
+               "gc": result}
+    verb = "would remove" if args.dry_run else "removed"
+    lines = [f"result store {store.root}: {before['entries']} cells, "
+             f"{_fmt_bytes(before['total_bytes'])}"
+             + (f" (+{before['stale_staging_dirs']} stale staging dirs)"
+                if before["stale_staging_dirs"] else "")]
+    for scenario, count in before["by_scenario"].items():
+        lines.append(f"  {scenario:<24} {count} cells")
+    lines.append(f"gc {verb} {len(result['removed_entries'])} cells and "
+                 f"{len(result['removed_staging'])} staging dirs, freeing "
+                 f"{_fmt_bytes(result['bytes_freed'])} "
+                 f"({result['entries_kept']} cells kept)")
+    _emit(payload, args.json, "\n".join(lines))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -182,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--chunk-trials", type=int, default=None,
                        dest="chunk_trials",
                        help="bound pre-drawn weight copies per parameter")
+    p_run.add_argument("--backend", choices=available_backends(), default=None,
+                       help="trial execution backend (never changes results); "
+                            "shared_memory ships weights via shared memory "
+                            "instead of pickling")
+    p_run.add_argument("--cell-workers", type=int, default=None,
+                       dest="cell_workers",
+                       help="fan a grid scenario's independent cells over N "
+                            "worker processes (resumes through the store; "
+                            "never changes results)")
     p_run.add_argument("--full", action="store_true",
                        help="figure scenarios: run the harness at its "
                             "full-scale default config instead of the fast "
@@ -201,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--seed", type=int, default=None)
     p_compare.add_argument("--json", action="store_true")
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_gc = sub.add_parser("gc", help="result-store size accounting + cleanup")
+    p_gc.add_argument("--out", default="results")
+    p_gc.add_argument("--keep-latest", type=int, default=None,
+                      dest="keep_latest",
+                      help="keep only the N most recently created cells "
+                           "(default: remove nothing but stale staging dirs)")
+    p_gc.add_argument("--dry-run", action="store_true", dest="dry_run",
+                      help="report what would be removed without deleting")
+    p_gc.add_argument("--json", action="store_true")
+    p_gc.set_defaults(func=_cmd_gc)
     return parser
 
 

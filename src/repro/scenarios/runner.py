@@ -24,6 +24,7 @@ Two entry paths share the sweep/store logic:
 from __future__ import annotations
 
 import functools
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -34,8 +35,10 @@ from ..data.loader import train_test_split
 from ..data.registry import build_dataset, dataset_info
 from ..evaluation.detection_metrics import mean_average_precision
 from ..evaluation.sweep import DriftSweepEngine, SweepReport
+from ..execution.cells import CELL_BACKENDS, run_cells
+from ..fault.policy import build_policy
 from ..models.registry import build_model
-from ..training.trainer import train_classifier
+from ..training.trainer import train_classifier, train_detector
 from .spec import ScenarioSpec
 from .store import ResultStore
 
@@ -89,10 +92,12 @@ class ScenarioRunner:
         Optional :class:`ResultStore`; without one every cell is executed
         fresh and nothing is persisted (the figure harnesses default to
         this, keeping them side-effect free).
-    workers, max_chunk_trials:
+    workers, max_chunk_trials, backend:
         Scheduling overrides applied to every cell (``None`` defers to the
-        spec).  They never change results — the engine's determinism
-        contract — and never enter the spec hash.
+        spec); ``backend`` names a :mod:`repro.execution` trial backend
+        (``serial``/``process``/``shared_memory``).  They never change
+        results — the engine's determinism contract — and never enter the
+        spec hash.
     progress:
         Optional ``callable(str)`` receiving one line per cell (the CLI
         passes ``print``).
@@ -101,10 +106,12 @@ class ScenarioRunner:
     def __init__(self, store: ResultStore | None = None, *,
                  workers: int | None = None,
                  max_chunk_trials: int | None = None,
+                 backend: str | None = None,
                  progress: Callable[[str], None] | None = None):
         self.store = store
         self.workers = workers
         self.max_chunk_trials = max_chunk_trials
+        self.backend = backend
         self.progress = progress
         #: Every cell this runner has resolved, in execution order.
         self.runs: list[ScenarioRun] = []
@@ -118,13 +125,33 @@ class ScenarioRunner:
         workers = self.workers if self.workers is not None else spec.workers
         max_chunk = (self.max_chunk_trials if self.max_chunk_trials is not None
                      else spec.max_chunk_trials)
+        backend = self.backend if self.backend is not None else spec.backend
         kwargs = dict(trials=spec.trials, workers=int(workers),
-                      max_chunk_trials=max_chunk,
-                      drift_factory=spec.fault.factory())
+                      max_chunk_trials=max_chunk, backend=backend,
+                      drift_factory=self._drift_factory(spec))
         if spec.metric == "map":
             kwargs["evaluate_fn"] = functools.partial(mean_average_precision,
                                                       iou_threshold=0.5)
         return kwargs
+
+    @staticmethod
+    def _drift_factory(spec: ScenarioSpec):
+        """severity → drift model (or per-layer policy, when the spec asks).
+
+        A cell without a ``policy`` sweeps its fault model uniformly over
+        every parameter; with one, each grid point resolves through the
+        :mod:`repro.fault.policy` registry so the sweep drifts layers
+        selectively (policy parameters are part of the spec hash).
+        """
+        if spec.policy is None:
+            return spec.fault.factory()
+        policy = dict(spec.policy)
+        kind = policy.pop("kind")
+
+        def _factory(severity: float):
+            return build_policy(kind, severity, spec.fault, **policy)
+
+        return _factory
 
     def _finish(self, spec: ScenarioSpec, report: SweepReport, cached: bool,
                 elapsed: float, scenario: str | None) -> ScenarioRun:
@@ -156,16 +183,75 @@ class ScenarioRunner:
                             time.perf_counter() - start, scenario)
 
     def run_specs(self, specs: Sequence[ScenarioSpec],
-                  scenario: str | None = None) -> list[ScenarioRun]:
-        return [self.run(spec, scenario=scenario) for spec in specs]
+                  scenario: str | None = None, backend: str | None = None,
+                  cell_workers: int | None = None) -> list[ScenarioRun]:
+        """Execute a batch of declarative cells, optionally fanned out.
+
+        ``backend=None``/``"serial"`` executes the cells one after another
+        (the historical behaviour).  ``backend="process"`` ships the cells
+        still missing from the store — whole (train → sweep → persist)
+        units, each seeded by its own ``spec.seed`` — to ``cell_workers``
+        worker processes via :func:`repro.execution.run_cells`; every
+        finished cell lands in the store as it completes, so a matrix
+        fill-in killed mid-run resumes from exactly the cells that
+        finished.  Results (and ``self.runs`` bookkeeping) come back in
+        ``specs`` order and are bit-identical to a serial run.
+        """
+        if backend is None or backend == "serial" or len(specs) < 2:
+            return [self.run(spec, scenario=scenario) for spec in specs]
+        if backend not in CELL_BACKENDS:
+            raise ValueError(
+                f"cell fan-out supports backends {list(CELL_BACKENDS)}; "
+                f"{backend!r} is a trial-level backend (weight shipping "
+                "does not apply to whole declarative cells)")
+        for spec in specs:
+            if spec.context:
+                raise ValueError(
+                    f"cell {spec.name!r} carries figure-harness context and "
+                    "cannot be fanned out; run its figure scenario instead")
+        start = time.perf_counter()
+        # Answer everything already stored, fan out only the gaps.
+        missing = [spec for spec in specs
+                   if self.store is None or not self.store.contains(spec)]
+        workers = cell_workers or min(len(missing), os.cpu_count() or 1) or 1
+        executed: dict[str, dict] = {}
+        if missing:
+            store_root = None if self.store is None else str(self.store.root)
+            # Worker-side runners inherit this runner's scheduling
+            # overrides, so e.g. --chunk-trials keeps bounding memory and
+            # --backend keeps choosing the trial backend inside each cell.
+            runner_kwargs = dict(workers=self.workers,
+                                 max_chunk_trials=self.max_chunk_trials,
+                                 backend=self.backend)
+            payloads = run_cells(missing, store_root, scenario,
+                                 workers=workers, runner_kwargs=runner_kwargs)
+            executed = {spec.spec_hash(): payload
+                        for spec, payload in zip(missing, payloads)}
+        runs = []
+        for spec in specs:
+            payload = executed.get(spec.spec_hash())
+            if payload is None:  # answered by the store (cached)
+                runs.append(self.run(spec, scenario=scenario))
+                continue
+            report = SweepReport.from_dict(payload["report"])
+            run = ScenarioRun(spec=spec, report=report, cached=payload["cached"],
+                              elapsed_seconds=payload["elapsed_seconds"])
+            self.runs.append(run)
+            self._log(f"  [{spec.spec_hash()[:12]}] {spec.name}: "
+                      f"ran in {run.elapsed_seconds:.2f}s (cell worker)")
+            runs.append(run)
+        self._log(f"  fan-out: {len(missing)} cells over {workers} workers "
+                  f"in {time.perf_counter() - start:.2f}s")
+        return runs
 
     def _execute(self, spec: ScenarioSpec) -> SweepReport:
         info = dataset_info(spec.dataset)
+        if info.task == "detection":
+            return self._execute_detection(spec, info)
         if info.task != "classification":
             raise ValueError(
-                f"declarative cells currently support classification "
-                f"datasets only; {spec.dataset!r} is a {info.task} dataset "
-                "(detection rides the fig3_detection figure scenario)")
+                f"declarative cells support classification and detection "
+                f"datasets; {spec.dataset!r} is a {info.task} dataset")
         train = spec.train
         num_classes = spec.num_classes or info.num_classes
         rng = np.random.default_rng(spec.seed)
@@ -189,6 +275,39 @@ class ScenarioRunner:
                          optimizer=train.optimizer, rng=rng)
         engine = DriftSweepEngine(
             model, test_set,
+            rng=np.random.default_rng(spec.seed + EVALUATION_SEED_OFFSET),
+            **self._engine_kwargs(spec))
+        return engine.run(spec.sigmas, label=spec.name)
+
+    def _execute_detection(self, spec: ScenarioSpec, info) -> SweepReport:
+        """Declarative fig3-detection-style cell: train a detector, sweep mAP.
+
+        Mirrors :meth:`_execute`'s seeding discipline — one ``spec.seed``
+        stream for data/model/training, a decoupled evaluation stream — so
+        detection cells cache, resume and re-order exactly like
+        classification ones.
+        """
+        if spec.metric != "map":
+            raise ValueError(
+                f"detection dataset {spec.dataset!r} needs metric='map' "
+                f"(cell {spec.name!r} asks for {spec.metric!r})")
+        train = spec.train
+        rng = np.random.default_rng(spec.seed)
+        total = train.train_samples + train.test_samples
+        dataset = build_dataset(spec.dataset, n_samples=total,
+                                image_size=spec.image_size, rng=rng,
+                                **spec.dataset_kwargs)
+        fraction = train.test_samples / total
+        train_samples, test_samples = dataset.split(test_fraction=fraction,
+                                                    rng=rng)
+        model = build_model(spec.model, in_channels=info.in_channels,
+                            image_size=spec.image_size, rng=rng,
+                            **spec.model_kwargs)
+        train_detector(model, train_samples, epochs=train.epochs,
+                       batch_size=train.batch_size,
+                       learning_rate=train.learning_rate, rng=rng)
+        engine = DriftSweepEngine(
+            model, test_samples,
             rng=np.random.default_rng(spec.seed + EVALUATION_SEED_OFFSET),
             **self._engine_kwargs(spec))
         return engine.run(spec.sigmas, label=spec.name)
@@ -220,13 +339,16 @@ class ScenarioRunner:
 
     # ------------------------------------------------------------------ #
     def run_scenario(self, scenario, config=None, seed: int | None = None,
-                     ) -> list[ScenarioRun]:
+                     cell_backend: str | None = None,
+                     cell_workers: int | None = None) -> list[ScenarioRun]:
         """Run a named or :class:`~repro.scenarios.library.Scenario` object.
 
-        Grid scenarios execute their spec list; figure scenarios invoke
-        their harness with this runner threaded through, so every sweep the
-        harness performs lands in (or is answered by) the store.  Returns
-        the runs this call produced, cached cells included.
+        Grid scenarios execute their spec list — fanned out over worker
+        processes when ``cell_backend="process"`` (see :meth:`run_specs`);
+        figure scenarios invoke their harness with this runner threaded
+        through, so every sweep the harness performs lands in (or is
+        answered by) the store.  Returns the runs this call produced,
+        cached cells included.
         """
         from .library import get_scenario, run_figure_scenario
 
@@ -235,7 +357,12 @@ class ScenarioRunner:
         first = len(self.runs)
         self._log(f"scenario {scenario.name}: {scenario.description}")
         if scenario.figure is None:
-            self.run_specs(scenario.cells(seed=seed), scenario=scenario.name)
+            self.run_specs(scenario.cells(seed=seed), scenario=scenario.name,
+                           backend=cell_backend, cell_workers=cell_workers)
         else:
+            if cell_backend not in (None, "serial"):
+                raise ValueError(
+                    f"figure scenario {scenario.name!r} cannot fan out cells: "
+                    "its harness threads one RNG through all variants")
             run_figure_scenario(scenario, self, config=config, seed=seed)
         return self.runs[first:]

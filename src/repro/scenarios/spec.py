@@ -34,7 +34,8 @@ __all__ = [
 
 #: Bumped whenever the hashed spec layout changes, so stale stores are
 #: never silently reused across incompatible schema revisions.
-SPEC_SCHEMA_VERSION = 1
+#: v2: cells gained the ``policy`` field (per-layer fault policies as data).
+SPEC_SCHEMA_VERSION = 2
 
 # --------------------------------------------------------------------------- #
 # Fault-model registry: string key -> builder(severity, **params) -> DriftModel.
@@ -188,11 +189,12 @@ class ScenarioSpec:
     harness and cannot be re-executed from the spec alone.
 
     **Identity vs scheduling.**  :meth:`spec_hash` covers every field that
-    determines the numbers — model, dataset, fault, grid, trials, seed,
-    metric, training recipe, context — and deliberately excludes ``workers``
-    and ``max_chunk_trials``: the sweep engine guarantees bit-identical
-    results for any worker count or chunk size, so scheduling knobs must
-    never fragment the result store.
+    determines the numbers — model, dataset, fault, per-layer ``policy``,
+    grid, trials, seed, metric, training recipe, context — and deliberately
+    excludes ``workers``, ``max_chunk_trials`` and ``backend``: the sweep
+    engine guarantees bit-identical results for any worker count, chunk
+    size or execution backend, so scheduling knobs must never fragment the
+    result store.
     """
 
     name: str
@@ -205,6 +207,12 @@ class ScenarioSpec:
     metric: str = "accuracy"
     image_size: int = 16
     num_classes: int | None = None
+    #: Per-layer fault policy as data: ``None`` (the implicit ``uniform``
+    #: policy — every parameter gets ``fault``) or a dict with a ``kind``
+    #: from the :func:`repro.fault.policy.available_policies` registry plus
+    #: that builder's parameters, e.g. ``{"kind": "per_layer_sigma",
+    #: "sigma_scales": {r"layers\.0": 2.0}, "default_scale": 1.0}``.
+    policy: dict | None = None
     model_kwargs: dict = field(default_factory=dict)
     dataset_kwargs: dict = field(default_factory=dict)
     train: ExperimentConfig = field(default_factory=ExperimentConfig)
@@ -212,6 +220,7 @@ class ScenarioSpec:
     # Scheduling knobs — excluded from spec_hash (see class docstring).
     workers: int = 0
     max_chunk_trials: int | None = None
+    backend: str | None = None
 
     _SCHEDULING_EXTRAS = ("sweep_workers", "sweep_chunk_trials")
 
@@ -228,6 +237,17 @@ class ScenarioSpec:
         if self.metric not in ("accuracy", "map"):
             raise ValueError(f"unknown metric {self.metric!r}; "
                              "expected 'accuracy' or 'map'")
+        if self.policy is not None:
+            from ..fault.policy import available_policies
+
+            if not isinstance(self.policy, dict) or "kind" not in self.policy:
+                raise ValueError(
+                    "policy must be None or a dict with a 'kind' key "
+                    f"(got {self.policy!r})")
+            if self.policy["kind"].lower() not in available_policies():
+                raise ValueError(
+                    f"unknown fault policy {self.policy['kind']!r}; "
+                    f"available: {available_policies()}")
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
@@ -242,12 +262,14 @@ class ScenarioSpec:
             "metric": self.metric,
             "image_size": self.image_size,
             "num_classes": self.num_classes,
+            "policy": None if self.policy is None else dict(self.policy),
             "model_kwargs": dict(self.model_kwargs),
             "dataset_kwargs": dict(self.dataset_kwargs),
             "train": self.train.to_dict(),
             "context": dict(self.context),
             "workers": self.workers,
             "max_chunk_trials": self.max_chunk_trials,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -274,6 +296,7 @@ class ScenarioSpec:
         data = self.to_dict()
         data.pop("workers")
         data.pop("max_chunk_trials")
+        data.pop("backend")
         data["train"]["extra"] = {
             key: value for key, value in data["train"]["extra"].items()
             if key not in self._SCHEDULING_EXTRAS}

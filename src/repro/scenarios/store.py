@@ -35,11 +35,10 @@ from .spec import ScenarioSpec
 __all__ = ["ResultStore", "ResultStoreError", "VOLATILE_REPORT_FIELDS"]
 
 #: SweepReport fields that legitimately vary between bit-identical runs
-#: (scheduling and timing); they are moved to ``meta.json``.
-VOLATILE_REPORT_FIELDS = (
-    "workers", "backend", "fallback_reason", "elapsed_seconds",
-    "per_sigma_seconds", "max_chunk_trials", "peak_resident_trials",
-)
+#: (scheduling, shipping and timing); they are moved to ``meta.json``.
+#: Defined by the report itself so the store and the backend-equivalence
+#: tests can never disagree about what "canonical" means.
+VOLATILE_REPORT_FIELDS = SweepReport.VOLATILE_FIELDS
 
 _SPEC_FILE = "spec.json"
 _REPORT_FILE = "report.json"
@@ -52,10 +51,7 @@ class ResultStoreError(RuntimeError):
 
 def canonical_report_dict(report: SweepReport) -> dict:
     """The deterministic projection of a report (volatile fields removed)."""
-    data = report.as_dict()
-    for key in VOLATILE_REPORT_FIELDS:
-        data.pop(key, None)
-    return data
+    return report.canonical_dict()
 
 
 class ResultStore:
@@ -183,3 +179,113 @@ class ResultStore:
         """Iterate every stored cell, validating each on the way out."""
         for spec_hash in self.hashes():
             yield self.load_entry(spec_hash)
+
+    # ------------------------------------------------------------------ #
+    # Size accounting and garbage collection.  Long-lived stores (CI
+    # caches, shared result dirs) accumulate cells and crash-leftover
+    # staging directories forever otherwise.
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _tree_bytes(path: Path) -> int:
+        return sum(item.stat().st_size
+                   for item in path.rglob("*") if item.is_file())
+
+    def _read_meta(self, spec_hash: str) -> dict | None:
+        try:
+            return json.loads((self.root / spec_hash / _META_FILE).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _entry_created_at(self, spec_hash: str,
+                          meta: dict | None = None) -> str:
+        """Sortable creation stamp: meta.json's record, mtime as fallback.
+
+        Callers that already hold the entry's parsed ``meta.json`` pass it
+        in to avoid a second read.
+        """
+        if meta is None:
+            meta = self._read_meta(spec_hash)
+        if meta is not None and "created_at" in meta:
+            return str(meta["created_at"])
+        entry = self.root / spec_hash
+        return time.strftime("%Y-%m-%dT%H:%M:%S%z",
+                             time.localtime(entry.stat().st_mtime))
+
+    def _staging_dirs(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [item for item in sorted(self.root.iterdir())
+                if item.is_dir() and not self._is_entry_name(item.name)
+                and ".tmp-" in item.name]
+
+    def stats(self) -> dict:
+        """Size accounting: entries, bytes, stamps, per-scenario counts.
+
+        Pure bookkeeping (one meta read and one size walk per entry, no
+        validation, nothing loaded into memory), so it stays cheap on
+        stores with thousands of cells.
+        """
+        entries = []
+        by_scenario: dict = {}
+        for spec_hash in self.hashes():
+            entry = self.root / spec_hash
+            meta = self._read_meta(spec_hash)
+            scenario = ("(unreadable)" if meta is None
+                        else meta.get("scenario") or "(none)")
+            created = self._entry_created_at(spec_hash, meta=meta)
+            entries.append((created, spec_hash, self._tree_bytes(entry)))
+            by_scenario[scenario] = by_scenario.get(scenario, 0) + 1
+        staging = self._staging_dirs()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(size for _, _, size in entries),
+            "oldest": min((stamp for stamp, _, _ in entries), default=None),
+            "newest": max((stamp for stamp, _, _ in entries), default=None),
+            "by_scenario": dict(sorted(by_scenario.items())),
+            "stale_staging_dirs": len(staging),
+            "stale_staging_bytes": sum(self._tree_bytes(item)
+                                       for item in staging),
+        }
+
+    def gc(self, keep_latest: int | None = None,
+           dry_run: bool = False) -> dict:
+        """Collect garbage: stale staging dirs always, old entries on request.
+
+        ``keep_latest=N`` keeps the ``N`` most recently created complete
+        entries (by ``meta.json`` stamp, hash as tie-break) and removes the
+        rest; ``None`` touches no complete entry.  Crash-leftover
+        ``<hash>.tmp-<pid>`` staging directories are always collected —
+        they were never visible through :meth:`hashes` anyway.
+        ``dry_run=True`` reports what would be removed without deleting.
+        Returns ``{"removed_entries", "removed_staging", "bytes_freed",
+        "entries_kept", "dry_run"}``.
+        """
+        if keep_latest is not None and keep_latest < 0:
+            raise ValueError("keep_latest must be non-negative (or None)")
+        ranked = sorted(
+            ((self._entry_created_at(spec_hash), spec_hash)
+             for spec_hash in self.hashes()), reverse=True)
+        doomed = [] if keep_latest is None else ranked[keep_latest:]
+        staging = self._staging_dirs()
+        bytes_freed = 0
+        removed_entries = []
+        for _, spec_hash in doomed:
+            entry = self.root / spec_hash
+            bytes_freed += self._tree_bytes(entry)
+            removed_entries.append(spec_hash)
+            if not dry_run:
+                shutil.rmtree(entry)
+        removed_staging = []
+        for item in staging:
+            bytes_freed += self._tree_bytes(item)
+            removed_staging.append(item.name)
+            if not dry_run:
+                shutil.rmtree(item)
+        return {
+            "removed_entries": removed_entries,
+            "removed_staging": removed_staging,
+            "bytes_freed": bytes_freed,
+            "entries_kept": len(ranked) - len(doomed),
+            "dry_run": dry_run,
+        }

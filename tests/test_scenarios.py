@@ -357,3 +357,272 @@ class TestCLI:
         (store.root / entry / "report.json").write_text("{not json")
         assert main(["report", "--out", out]) == 2
         assert "corrupted" in capsys.readouterr().err
+
+
+class TestPolicySpecs:
+    """Per-layer fault policies as spec data (`policy` field + registry)."""
+
+    POLICY = {"kind": "per_layer_sigma",
+              "sigma_scales": {r"layers\.0": 2.0},
+              "default_scale": 0.5}
+
+    def test_policy_registry_contents(self):
+        from repro.fault.policy import available_policies
+
+        assert {"uniform", "per_layer_sigma"} <= set(available_policies())
+
+    def test_policy_enters_the_spec_hash(self):
+        base = tiny_spec()
+        with_policy = tiny_spec(policy=dict(self.POLICY))
+        assert with_policy.spec_hash() != base.spec_hash()
+        # ... and different policy parameters are different cells.
+        stronger = dict(self.POLICY, default_scale=1.0)
+        assert tiny_spec(policy=stronger).spec_hash() != with_policy.spec_hash()
+
+    def test_policy_hash_stable_across_json_round_trip(self):
+        spec = tiny_spec(policy=dict(self.POLICY))
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored.policy == spec.policy
+        assert restored.spec_hash() == spec.spec_hash()
+
+    def test_unknown_policy_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault policy"):
+            tiny_spec(policy={"kind": "chaotic"})
+        with pytest.raises(ValueError, match="'kind'"):
+            tiny_spec(policy={"sigma_scales": {}})
+
+    def test_per_layer_sigma_requires_lognormal_fault(self, tmp_path):
+        from repro.fault.policy import build_policy
+
+        with pytest.raises(ValueError, match="log-normal"):
+            build_policy("per_layer_sigma", 0.5, FaultSpec("stuckat"),
+                         sigma_scales={"w": 1.0})
+
+    def test_policy_cell_executes_and_differs_from_uniform(self, tmp_path):
+        runner = ScenarioRunner(ResultStore(tmp_path / "results"))
+        uniform = runner.run(tiny_spec(name="uniform-cell"))
+        # Only the first layer drifts, at double strength; everything else
+        # stays clean — a different measurement than uniform drift.
+        selective = runner.run(tiny_spec(
+            name="policy-cell",
+            policy={"kind": "per_layer_sigma",
+                    "sigma_scales": {r"layers\.0\.": 2.0}}))
+        assert uniform.report.means[0] == selective.report.means[0]  # σ=0
+        assert uniform.report.trial_scores != selective.report.trial_scores
+
+    def test_policy_cell_resumes_from_store(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        spec = tiny_spec(name="policy-resume", policy=dict(self.POLICY))
+        first = ScenarioRunner(store).run(spec)
+        second = ScenarioRunner(store).run(spec)
+        assert not first.cached and second.cached
+        assert second.report.means == first.report.means
+
+
+class TestDetectionCells:
+    """Declarative fig3-detection-style cells (mAP sweeps in the runner)."""
+
+    def test_detection_smoke_scenario_runs_and_resumes(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        cold = ScenarioRunner(store).run_scenario("detection_smoke")
+        assert len(cold) == 1 and not cold[0].cached
+        report = cold[0].report
+        assert report.sigmas[0] == 0.0
+        assert report.means[0] > 0.2          # the detector really detects
+        assert report.means[-1] < report.means[0]   # and drift degrades it
+        resumed = ScenarioRunner(store).run_scenario("detection_smoke")
+        assert resumed[0].cached
+        assert resumed[0].report.means == report.means
+
+    def test_detection_cell_requires_map_metric(self):
+        spec = tiny_spec(name="bad-detector", model="detector",
+                         dataset="pedestrians", metric="accuracy",
+                         image_size=32)
+        with pytest.raises(ValueError, match="metric='map'"):
+            ScenarioRunner().run(spec)
+
+    def test_detection_cell_is_scheduling_invariant(self, tmp_path):
+        spec = get_scenario("detection_smoke").cells(seed=0)[0]
+        serial = ScenarioRunner().run(spec)
+        parallel = ScenarioRunner(workers=2, backend="shared_memory").run(spec)
+        assert (parallel.report.to_json(canonical=True)
+                == serial.report.to_json(canonical=True))
+
+
+class TestCellFanOut:
+    """run_specs(backend="process"): matrix cells over worker processes."""
+
+    def _specs(self):
+        return [tiny_spec(name=f"cell-{i}", seed=i) for i in range(3)]
+
+    def test_fanned_matrix_matches_serial_bit_for_bit(self, tmp_path):
+        specs = self._specs()
+        serial_store = ResultStore(tmp_path / "serial")
+        ScenarioRunner(serial_store).run_specs(specs)
+        fanned_store = ResultStore(tmp_path / "fanned")
+        runs = ScenarioRunner(fanned_store).run_specs(
+            specs, backend="process", cell_workers=2)
+        assert [run.spec.name for run in runs] == [s.name for s in specs]
+        for spec in specs:
+            a = (serial_store.root / spec.spec_hash() / "report.json").read_bytes()
+            b = (fanned_store.root / spec.spec_hash() / "report.json").read_bytes()
+            assert a == b
+
+    def test_interrupted_fill_in_resumes_without_recompute(self, tmp_path):
+        specs = self._specs()
+        store = ResultStore(tmp_path / "results")
+        # A "killed" matrix run that only finished the first cell.
+        ScenarioRunner(store).run_specs(specs[:1])
+        runner = ScenarioRunner(store)
+        runs = runner.run_specs(specs, backend="process", cell_workers=2)
+        assert [run.cached for run in runs] == [True, False, False]
+        # Everything is now stored; a further run recomputes nothing.
+        again = ScenarioRunner(store).run_specs(specs, backend="process",
+                                                cell_workers=2)
+        assert [run.cached for run in again] == [True, True, True]
+
+    def test_trial_backends_rejected_for_cells(self):
+        with pytest.raises(ValueError, match="trial-level backend"):
+            ScenarioRunner().run_specs(self._specs(), backend="shared_memory")
+
+    def test_figure_context_cells_cannot_fan_out(self):
+        specs = [tiny_spec(name=f"ctx-{i}", context={"figure": "fig9"})
+                 for i in range(2)]
+        with pytest.raises(ValueError, match="figure-harness context"):
+            ScenarioRunner().run_specs(specs, backend="process")
+
+    def test_figure_scenarios_cannot_fan_out(self, tmp_path):
+        runner = ScenarioRunner(ResultStore(tmp_path / "results"))
+        with pytest.raises(ValueError, match="cannot fan out"):
+            runner.run_scenario("fig2_dropout", cell_backend="process")
+
+
+class TestStoreGC:
+    def _filled(self, tmp_path, n=3):
+        store = ResultStore(tmp_path / "results")
+        runner = ScenarioRunner(store)
+        for i in range(n):
+            runner.run(tiny_spec(name=f"gc-{i}", seed=i), scenario="gc-test")
+        return store
+
+    def test_stats_accounting(self, tmp_path):
+        store = self._filled(tmp_path)
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert stats["by_scenario"] == {"gc-test": 3}
+        assert stats["oldest"] <= stats["newest"]
+        assert stats["stale_staging_dirs"] == 0
+
+    def test_gc_keep_latest_removes_oldest(self, tmp_path):
+        store = self._filled(tmp_path)
+        # Make creation order unambiguous (the stamp has 1s resolution).
+        for index, spec_hash in enumerate(sorted(store.hashes())):
+            meta_path = store.root / spec_hash / "meta.json"
+            meta = json.loads(meta_path.read_text())
+            meta["created_at"] = f"2026-01-0{index + 1}T00:00:00+0000"
+            meta_path.write_text(json.dumps(meta))
+        ordered = sorted(store.hashes())
+        result = store.gc(keep_latest=1)
+        assert result["entries_kept"] == 1
+        assert sorted(result["removed_entries"]) == ordered[:2]
+        assert result["bytes_freed"] > 0
+        assert list(store.hashes()) == [ordered[2]]
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path):
+        store = self._filled(tmp_path)
+        result = store.gc(keep_latest=0, dry_run=True)
+        assert len(result["removed_entries"]) == 3 and result["dry_run"]
+        assert store.stats()["entries"] == 3
+
+    def test_gc_collects_stale_staging_dirs(self, tmp_path):
+        store = self._filled(tmp_path, n=1)
+        stale = store.root / ("f" * 64 + ".tmp-123")
+        stale.mkdir()
+        (stale / "report.json").write_text("{}")
+        assert store.stats()["stale_staging_dirs"] == 1
+        result = store.gc()
+        assert result["removed_staging"] == [stale.name]
+        assert result["removed_entries"] == []
+        assert not stale.exists()
+        assert store.stats()["entries"] == 1  # complete entries untouched
+
+    def test_gc_rejects_negative_keep(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            ResultStore(tmp_path).gc(keep_latest=-1)
+
+    def test_cli_gc_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path / "results")
+        assert main(["run", "smoke", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["gc", "--out", out, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["before"]["entries"] == 1
+        assert payload["gc"]["removed_entries"] == []
+        assert main(["gc", "--out", out, "--keep-latest", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["gc"]["removed_entries"]) == 1
+        assert payload["after"]["entries"] == 0
+
+
+class TestSchedulingKnobInvariance:
+    def test_backend_knob_never_enters_the_hash(self):
+        base = tiny_spec()
+        assert tiny_spec(backend="shared_memory").spec_hash() == base.spec_hash()
+        assert tiny_spec(workers=4, backend="process").spec_hash() == base.spec_hash()
+
+    def test_runner_backend_override_is_result_invariant(self, tmp_path):
+        spec = tiny_spec(name="backend-invariant")
+        serial = ScenarioRunner().run(spec)
+        shm = ScenarioRunner(workers=2, backend="shared_memory").run(spec)
+        assert (shm.report.to_json(canonical=True)
+                == serial.report.to_json(canonical=True))
+
+    def test_cli_backend_flag_produces_identical_store(self, tmp_path, capsys):
+        plain, shm = str(tmp_path / "plain"), str(tmp_path / "shm")
+        assert main(["run", "smoke", "--out", plain, "--json"]) == 0
+        assert main(["run", "smoke", "--out", shm, "--workers", "2",
+                     "--backend", "shared_memory", "--json"]) == 0
+        capsys.readouterr()
+        store = ResultStore(plain)
+        entry = next(iter(store.hashes()))
+        a = (ResultStore(plain).root / entry / "report.json").read_bytes()
+        b = (ResultStore(shm).root / entry / "report.json").read_bytes()
+        assert a == b
+
+
+class TestCellFanOutOverrides:
+    def test_runner_overrides_reach_worker_cells(self, tmp_path):
+        """--chunk-trials etc. must keep working under --cell-workers.
+
+        The engine setting a cell ran with is auditable in its meta.json
+        volatile record, so the stored cells prove the override crossed
+        the process boundary.
+        """
+        store = ResultStore(tmp_path / "results")
+        specs = [tiny_spec(name=f"ov-{i}", seed=i) for i in range(2)]
+        runner = ScenarioRunner(store, max_chunk_trials=1)
+        runner.run_specs(specs, backend="process", cell_workers=2)
+        for spec in specs:
+            meta = json.loads(
+                (store.root / spec.spec_hash() / "meta.json").read_text())
+            assert meta["volatile"]["max_chunk_trials"] == 1
+            assert meta["volatile"]["peak_resident_trials"] == 1
+
+    def test_cell_errors_propagate_without_serial_retry(self, tmp_path):
+        """A deterministic cell failure is not pool breakage: no fallback
+        warning, no wasted serial recompute — the original error surfaces."""
+        import warnings as warnings_module
+
+        # Passes spec validation, fails in the runner: detection dataset
+        # with a classification metric.
+        bad = tiny_spec(name="bad-cell", model="detector",
+                        dataset="pedestrians", metric="accuracy",
+                        image_size=32)
+        good = tiny_spec(name="good-cell")
+        runner = ScenarioRunner(ResultStore(tmp_path / "results"))
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", RuntimeWarning)
+            with pytest.raises(ValueError, match="metric='map'"):
+                runner.run_specs([bad, good], backend="process",
+                                 cell_workers=2)
