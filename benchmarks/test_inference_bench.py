@@ -1,0 +1,144 @@
+"""Inference-layer bench: per-trial vs trial-batched evaluation.
+
+Measures the acceptance target of the inference-layer PR on the workload it
+was built for — Monte-Carlo drift evaluation of small validation slices,
+where the per-trial loop pays full Python/numpy dispatch overhead (layer
+calls, im2col, loader iteration) once per trial and the batched evaluator
+pays it once per *stack* of trials, turning the T per-trial GEMMs into one
+C-level stacked call.  The bench asserts the batched scores are bit-identical
+to the per-trial loop, that a seeded engine sweep stays byte-identical under
+``trial_batch``, and that the measured speedup clears ≥2× on LeNet/MNIST and
+≥1.5× on PreAct-18/CIFAR.  It writes the machine-readable
+``BENCH_inference.json`` at the repo root (CI uploads it as an artifact).
+
+Wall-clock on shared CI containers is noisy, so each configuration is timed
+over several repetitions and the asserted speedup is the *median* ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import SyntheticCIFAR, SyntheticMNIST, train_test_split
+from repro.evaluation import DriftSweepEngine
+from repro.fault.drift import LogNormalDrift
+from repro.fault.injector import FaultInjector
+from repro.inference import (ClassificationAccuracy, PerTrialEvaluator,
+                             TrialBatchedEvaluator)
+from repro.models import build_model
+from repro.training import train_classifier
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+#: Evaluation-slice size.  Trial batching amortises per-forward dispatch
+#: overhead, so its regime is many trials over a small validation slice —
+#: exactly the program-and-verify / BO-inner-loop shape, not full-test-set
+#: sweeps (where numpy kernel time dominates and batching is a wash).
+EVAL_SAMPLES = 4
+REPS = 9
+
+
+def _trained(name: str, dataset, rng_seed: int):
+    rng = np.random.default_rng(rng_seed)
+    train_set, test_set = train_test_split(dataset, test_fraction=0.3, rng=rng)
+    in_channels = dataset.inputs.shape[1]
+    image_size = dataset.inputs.shape[-1]
+    model = build_model(name, num_classes=10, in_channels=in_channels,
+                        image_size=image_size, rng=rng)
+    train_classifier(model, train_set, epochs=1, batch_size=32,
+                     learning_rate=0.05, rng=rng)
+    return model, test_set.subset(np.arange(EVAL_SAMPLES))
+
+
+def _bench_case(name: str, model, data, trials: int) -> dict:
+    injector = FaultInjector(model, LogNormalDrift(0.8),
+                             rng=np.random.default_rng(2021))
+    injector.snapshot()
+    drawn = injector.draw_trials(trials)
+    pending = {f"trial-{index}": {key: arrays[index]
+                                  for key, arrays in drawn.items()}
+               for index in range(trials)}
+    metric = ClassificationAccuracy()
+    per_trial = PerTrialEvaluator()
+    batched = TrialBatchedEvaluator(trials)
+
+    ratios, per_seconds, batched_seconds = [], [], []
+    try:
+        for _ in range(REPS):
+            start = time.perf_counter()
+            reference = per_trial.run(model, data, metric, dict(pending),
+                                      injector.apply_trial)
+            mid = time.perf_counter()
+            stacked = batched.run(model, data, metric, dict(pending),
+                                  injector.apply_trial)
+            end = time.perf_counter()
+            assert ([(r.digest, r.score) for r in reference]
+                    == [(r.digest, r.score) for r in stacked]), (
+                f"{name}: batched scores diverged from the per-trial loop")
+            per_seconds.append(mid - start)
+            batched_seconds.append(end - mid)
+            ratios.append((mid - start) / max(end - mid, 1e-9))
+    finally:
+        injector.restore()
+
+    return {
+        "model": name,
+        "trials": trials,
+        "eval_samples": len(data),
+        "reps": REPS,
+        "per_trial_seconds_median": round(statistics.median(per_seconds), 4),
+        "batched_seconds_median": round(statistics.median(batched_seconds), 4),
+        "speedup_median": round(statistics.median(ratios), 3),
+        "speedup_min": round(min(ratios), 3),
+        "speedup_max": round(max(ratios), 3),
+    }
+
+
+def test_trial_batching_speedup():
+    lenet_model, lenet_data = _trained(
+        "lenet", SyntheticMNIST(n_samples=80, image_size=16, rng=0), 0)
+    # 8x8 CIFAR keeps the PreAct forward overhead-dominated (54 layer calls
+    # per forward, tiny GEMMs) — the regime trial batching is built for.
+    preact_model, preact_data = _trained(
+        "preact18", SyntheticCIFAR(n_samples=60, image_size=8, rng=1), 1)
+
+    lenet = _bench_case("lenet", lenet_model, lenet_data, trials=32)
+    preact = _bench_case("preact18", preact_model, preact_data, trials=16)
+
+    # Determinism at the engine level: a seeded sweep is byte-identical with
+    # the batched evaluator switched on (full stack size).
+    serial = DriftSweepEngine(lenet_model, lenet_data, trials=6, rng=7,
+                              ).run((0.0, 0.8), label="bench")
+    stacked = DriftSweepEngine(lenet_model, lenet_data, trials=6, rng=7,
+                               trial_batch=6).run((0.0, 0.8), label="bench")
+    assert stacked.to_json(canonical=True) == serial.to_json(canonical=True)
+    assert stacked.batched_evaluations > 0
+
+    summary = {
+        "eval_samples": EVAL_SAMPLES,
+        "sigma": 0.8,
+        "cases": {"lenet": lenet, "preact18": preact},
+        "engine_canonical_identical": True,
+    }
+    BENCH_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+    print("\n=== inference trial-batching bench (BENCH_inference.json) ===")
+    for case in (lenet, preact):
+        print(f"{case['model']:>9}: {case['trials']} trials x "
+              f"{case['eval_samples']} samples — per-trial "
+              f"{case['per_trial_seconds_median']:.3f}s, batched "
+              f"{case['batched_seconds_median']:.3f}s, speedup "
+              f"{case['speedup_median']:.2f}x (min {case['speedup_min']:.2f}, "
+              f"max {case['speedup_max']:.2f})")
+
+    assert lenet["speedup_median"] >= 2.0, (
+        f"LeNet trial batching delivered {lenet['speedup_median']:.2f}x, "
+        "expected >= 2.0x")
+    assert preact["speedup_median"] >= 1.5, (
+        f"PreAct-18 trial batching delivered {preact['speedup_median']:.2f}x, "
+        "expected >= 1.5x")

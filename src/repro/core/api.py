@@ -58,6 +58,11 @@ class BayesFT:
         name such as ``"shared_memory"``, which ships each trial's weight
         copies to the workers as shared-memory offset tables instead of
         pickled arrays).  Never changes seeded results.
+    trial_batch:
+        Monte-Carlo draws per stacked forward pass in the inner objective
+        (``None``/``1`` evaluates draws one at a time).  Batched evaluation
+        is bit-identical (see :mod:`repro.inference`), so like the other
+        scheduling knobs this never changes seeded results.
     warm_start:
         If True (default) each trial fine-tunes the current weights; if
         False every trial retrains from the initial weights.
@@ -73,7 +78,8 @@ class BayesFT:
                  weight_optimizer: str = "sgd",
                  max_dropout_rate: float = 0.9, optimizer_kind: str = "bayes",
                  sweep_workers: int = 0, max_chunk_trials: int | None = None,
-                 sweep_backend=None, warm_start: bool = True, rng=None):
+                 sweep_backend=None, trial_batch: int | None = None,
+                 warm_start: bool = True, rng=None):
         if not 0.0 < validation_fraction < 1.0:
             raise ValueError("validation_fraction must lie in (0, 1)")
         self.sigma = sigma
@@ -91,6 +97,7 @@ class BayesFT:
         self.sweep_workers = sweep_workers
         self.max_chunk_trials = max_chunk_trials
         self.sweep_backend = sweep_backend
+        self.trial_batch = trial_batch
         self.warm_start = warm_start
         self.rng = get_rng(rng)
         self.search_: BayesFTSearch | None = None
@@ -110,7 +117,8 @@ class BayesFT:
             monte_carlo_samples=self.monte_carlo_samples, metric=self.metric,
             sweep_workers=self.sweep_workers,
             max_chunk_trials=self.max_chunk_trials,
-            sweep_backend=self.sweep_backend, rng=self.rng)
+            sweep_backend=self.sweep_backend,
+            trial_batch=self.trial_batch, rng=self.rng)
         self.search_ = BayesFTSearch(
             search_space, objective, train_set,
             epochs_per_trial=self.epochs_per_trial, batch_size=self.batch_size,

@@ -27,29 +27,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn import cross_entropy
-from ..nn.module import Module
-from ..nn.tensor import Tensor, no_grad
 from ..data.loader import Dataset
 from ..evaluation.sweep import DriftSweepEngine, SweepReport
+from ..inference import AccuracyAndLoss
+from ..nn.module import Module
 from ..utils.rng import get_rng
 
 __all__ = ["DriftMarginalizedObjective"]
 
-
-def _batch_metrics(model: Module, batch: Dataset) -> tuple[float, float]:
-    """Accuracy and cross-entropy of ``model`` on one evaluation batch.
-
-    Both metrics come from a single forward pass; the engine stores the
-    accuracy as the trial score and the loss in the report's loss track, so
-    one sweep serves Eq. 3 (``neg_loss``) and the figures (``accuracy``).
-    Module-level so the process-parallel backend can pickle it.
-    """
-    with no_grad():
-        logits = model(Tensor(batch.inputs))
-    score = float((logits.data.argmax(axis=1) == batch.labels).mean())
-    loss = float(cross_entropy(logits, batch.labels).item())
-    return score, loss
+#: Accuracy and cross-entropy from one forward pass (per trial or per
+#: stacked trial batch).  The engine stores the accuracy as the trial score
+#: and the loss in the report's loss track, so one sweep serves Eq. 3
+#: (``neg_loss``) and the figures (``accuracy``).  A module-level instance
+#: so the process-parallel backends can pickle it.
+_batch_metrics = AccuracyAndLoss()
 
 
 class DriftMarginalizedObjective:
@@ -84,6 +75,13 @@ class DriftMarginalizedObjective:
         while pre-drawing the ``T`` samples (``None`` = all at once); lets
         PreAct-ResNet-depth models run the search in bounded memory without
         changing any result.
+    trial_batch:
+        Trials per stacked forward pass in the inner sweep (``None``/``1``
+        evaluates the Monte-Carlo draws one at a time).  Like
+        ``sweep_workers`` and ``max_chunk_trials`` this never changes
+        results — batched evaluation is bit-identical (see
+        :mod:`repro.inference`) — it only amortises per-draw dispatch
+        overhead across the ``T`` samples.
 
     Attributes
     ----------
@@ -96,7 +94,8 @@ class DriftMarginalizedObjective:
     def __init__(self, dataset: Dataset, sigma: float = 0.6,
                  monte_carlo_samples: int = 5, metric: str = "neg_loss",
                  max_batch: int = 512, rng=None, sweep_workers: int = 0,
-                 max_chunk_trials: int | None = None, sweep_backend=None):
+                 max_chunk_trials: int | None = None, sweep_backend=None,
+                 trial_batch: int | None = None):
         if monte_carlo_samples < 1:
             raise ValueError("monte_carlo_samples must be at least 1")
         if metric not in ("neg_loss", "accuracy"):
@@ -112,6 +111,7 @@ class DriftMarginalizedObjective:
         self.sweep_workers = int(sweep_workers)
         self.max_chunk_trials = max_chunk_trials
         self.sweep_backend = sweep_backend
+        self.trial_batch = trial_batch
         # Digest -> (accuracy, loss), persisted across evaluate() calls so
         # repeated weight states across BO trials are never re-evaluated.
         self._shared_cache: dict = {}
@@ -139,6 +139,7 @@ class DriftMarginalizedObjective:
                                 workers=self.sweep_workers,
                                 backend=self.sweep_backend,
                                 max_chunk_trials=self.max_chunk_trials,
+                                trial_batch=self.trial_batch,
                                 rng=self.rng, evaluate_fn=_batch_metrics,
                                 shared_cache=self._shared_cache)
 

@@ -26,7 +26,10 @@ drift and re-runs the full test set once per (σ, trial) pair with zero reuse.
    bytes so bit-identical trials (every σ=0 trial, for instance) are
    evaluated exactly once.  A caller-owned ``shared_cache`` extends the
    cache across engine runs — the BayesFT inner objective reuses it across
-   Bayesian-optimisation trials.
+   Bayesian-optimisation trials.  ``trial_batch`` composes with all of the
+   above: an :class:`~repro.inference.InferenceEvaluator` owns the model
+   calls, and the batched strategy evaluates several stacked trials per
+   forward pass — bit-identically — both in-process and inside workers.
 5. **Structured results** — the sweep streams into the existing
    :class:`~repro.evaluation.robustness.RobustnessCurve` and returns a
    JSON-serializable :class:`SweepReport` with timing statistics and, when
@@ -42,7 +45,6 @@ experiment harnesses.
 
 from __future__ import annotations
 
-import functools
 import hashlib
 import json
 import time
@@ -53,8 +55,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..execution import EvalContext, resolve_backend
-from ..execution.base import split_metrics as _split_metrics
 from ..fault.drift import DriftModel, LogNormalDrift
+from ..inference import ClassificationAccuracy, resolve_evaluator
 from ..fault.injector import FaultInjector
 from ..fault.policy import LayerFaultPolicy
 from ..utils.rng import get_rng
@@ -111,6 +113,8 @@ class SweepReport:
     peak_resident_trials: int = 0  # most weight copies materialised at once
     tasks_shipped: int = 0    # trials sent to worker processes
     bytes_shipped: int = 0    # payload bytes those tasks carried
+    trial_batch: int | None = None  # trials per stacked forward pass (None = 1)
+    batched_evaluations: int = 0  # evaluations answered by a stacked pass
     elapsed_seconds: float = 0.0
     per_sigma_seconds: list = field(default_factory=list)  # summed eval time per σ
 
@@ -119,7 +123,7 @@ class SweepReport:
     VOLATILE_FIELDS = (
         "workers", "backend", "fallback_reason", "elapsed_seconds",
         "per_sigma_seconds", "max_chunk_trials", "peak_resident_trials",
-        "tasks_shipped", "bytes_shipped",
+        "tasks_shipped", "bytes_shipped", "trial_batch", "batched_evaluations",
     )
 
     def curve(self) -> RobustnessCurve:
@@ -143,6 +147,8 @@ class SweepReport:
             "peak_resident_trials": self.peak_resident_trials,
             "tasks_shipped": self.tasks_shipped,
             "bytes_shipped": self.bytes_shipped,
+            "trial_batch": self.trial_batch,
+            "batched_evaluations": self.batched_evaluations,
             "elapsed_seconds": self.elapsed_seconds,
             "per_sigma_seconds": list(self.per_sigma_seconds),
         }
@@ -236,6 +242,19 @@ class DriftSweepEngine:
         <repro.fault.injector.FaultInjector.plan_trials>` — so the knob
         trades only memory against scheduling freedom: chunks of one trial
         evaluate serially even when ``workers >= 2``.
+    trial_batch:
+        How many trials each forward pass evaluates (``None``/``1`` is the
+        historical one-trial-at-a-time path).  ``n >= 2`` routes evaluation
+        through the :class:`~repro.inference.TrialBatchedEvaluator`, which
+        stacks ``n`` drifted weight realisations along a leading trial axis
+        and runs them in one tiled forward pass — bit-identical to ``n``
+        separate passes (see :mod:`repro.nn.functional`), so like
+        ``workers``, ``backend`` and ``max_chunk_trials`` this is a pure
+        scheduling knob.  Composes with all of them: worker tasks widen to
+        ``trial_batch`` trials, and the σ=0 collapse and inference cache
+        dedupe *before* batching, so batches only ever contain unique
+        trials.  Evaluation functions without the batched protocol
+        (``evaluate_trials``) silently run per-trial.
     """
 
     def __init__(self, model, data, *, trials: int = 5, drift_factory=None,
@@ -244,7 +263,7 @@ class DriftSweepEngine:
                  shared_cache: dict | None = None,
                  max_chunk_trials: int | None = None,
                  evaluate_fn: Callable | None = None,
-                 backend=None):
+                 backend=None, trial_batch: int | None = None):
         if trials < 1:
             raise ValueError("trials must be at least 1")
         if workers < 0:
@@ -274,10 +293,13 @@ class DriftSweepEngine:
         self.cache = bool(cache)
         self.shared_cache = shared_cache
         self.max_chunk_trials = None if max_chunk_trials is None else int(max_chunk_trials)
-        self.evaluate_fn = evaluate_fn or functools.partial(
-            classification_accuracy, batch_size=self.batch_size)
+        self.evaluate_fn = evaluate_fn or ClassificationAccuracy(
+            batch_size=self.batch_size)
         self.backend = backend
-        # Fail fast on an unknown backend name; each run() resolves afresh.
+        self.trial_batch = None if trial_batch is None else int(trial_batch)
+        # Fail fast on an unknown backend name or trial_batch; each run()
+        # resolves the backend afresh, the evaluator is reused.
+        self.evaluator = resolve_evaluator(self.trial_batch)
         resolve_backend(self.backend, workers=self.workers)
 
     # ------------------------------------------------------------------ #
@@ -304,10 +326,12 @@ class DriftSweepEngine:
         eval_seconds: dict[str, float] = {}
         cache_hits = 0
         n_evaluations = 0
+        batched_evaluations = 0
         fallback_reason = ""
         backend = resolve_backend(self.backend, workers=self.workers)
         backend.open(EvalContext(model=self.model, data=self.data,
-                                 evaluate_fn=self.evaluate_fn))
+                                 evaluate_fn=self.evaluate_fn,
+                                 evaluator=self.evaluator))
         backend_broken = False
         if self.shared_cache:
             for digest, (score, loss) in self.shared_cache.items():
@@ -369,6 +393,7 @@ class DriftSweepEngine:
                                     losses[result.digest] = result.loss
                                     eval_seconds[result.digest] = result.seconds
                                     n_evaluations += 1
+                                    batched_evaluations += int(result.batched)
                             except Exception as error:
                                 if not backend.out_of_process:
                                     raise
@@ -379,16 +404,20 @@ class DriftSweepEngine:
                                     f"evaluation ({fallback_reason})",
                                     RuntimeWarning, stacklevel=2)
                         # Serial completion of anything the backend did not
-                        # answer (everything, once it is broken).
-                        for digest, params in pending.items():
-                            if digest in scores:
-                                continue
-                            injector.apply_trial(params)
-                            t0 = time.perf_counter()
-                            value = self.evaluate_fn(self.model, self.data)
-                            scores[digest], losses[digest] = _split_metrics(value)
-                            eval_seconds[digest] = time.perf_counter() - t0
-                            n_evaluations += 1
+                        # answer (everything, once it is broken), through
+                        # the same evaluator the backend's workers run.
+                        leftovers = {digest: params
+                                     for digest, params in pending.items()
+                                     if digest not in scores}
+                        if leftovers:
+                            for result in self.evaluator.run(
+                                    self.model, self.data, self.evaluate_fn,
+                                    leftovers, injector.apply_trial):
+                                scores[result.digest] = result.score
+                                losses[result.digest] = result.loss
+                                eval_seconds[result.digest] = result.seconds
+                                n_evaluations += 1
+                                batched_evaluations += int(result.batched)
                         trial_index += count
                     if collapse:
                         digest = digest_of[(sigma_index, 0)]
@@ -412,7 +441,9 @@ class DriftSweepEngine:
                              max_chunk_trials=self.max_chunk_trials,
                              peak_resident_trials=injector.peak_resident_trials,
                              tasks_shipped=backend.tasks_shipped,
-                             bytes_shipped=backend.bytes_shipped)
+                             bytes_shipped=backend.bytes_shipped,
+                             trial_batch=self.trial_batch,
+                             batched_evaluations=batched_evaluations)
         for sigma_index, sigma in enumerate(sigmas):
             per_trial = [scores[digest_of[(sigma_index, trial_index)]]
                          for trial_index in range(self.trials)]

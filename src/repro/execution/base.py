@@ -19,7 +19,6 @@ parameter) without importing concrete classes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -55,21 +54,33 @@ class EvalContext:
     receives an ``apply_trial`` callable with each :meth:`run_trials` batch
     (the engine's already-snapshotted injector), and worker processes build
     their own injector from the clean model they receive at pool start.
+
+    ``evaluator`` is the :class:`~repro.inference.InferenceEvaluator`
+    driving the model calls (``None`` means per-trial).  Backends read its
+    ``trial_batch`` to group trials into worker tasks and ship the
+    evaluator itself to workers, so batching happens worker-side.
     """
 
     model: object
     data: object
     evaluate_fn: Callable
+    evaluator: object | None = None
 
 
 @dataclass
 class TrialResult:
-    """One evaluated trial: content digest plus its metrics and cost."""
+    """One evaluated trial: content digest plus its metrics and cost.
+
+    ``batched`` records whether the trial was scored inside a stacked
+    multi-trial forward pass — bookkeeping for the report's volatile
+    ``batched_evaluations`` counter, never part of canonical results.
+    """
 
     digest: str
     score: float
     loss: float | None
     seconds: float
+    batched: bool = False
 
 
 class ExecutionBackend:
@@ -133,20 +144,21 @@ class ExecutionBackend:
         """Release pools, shared-memory segments, any other resources."""
 
     # ------------------------------------------------------------------ #
+    def _evaluator(self):
+        """The context's inference evaluator, defaulting to per-trial."""
+        if self.context is not None and self.context.evaluator is not None:
+            return self.context.evaluator
+        from ..inference import PerTrialEvaluator  # leaf-ward; avoids a cycle
+        return PerTrialEvaluator()
+
     def _run_in_process(self, pending: dict[str, dict],
                         apply_trial: Callable[[dict], None]) -> list[TrialResult]:
-        """Shared serial path: apply and evaluate each trial on the live model."""
+        """Shared serial path: evaluate each trial on the live model."""
         if self.context is None:
             raise RuntimeError("backend.open() must run before run_trials()")
-        results = []
-        for digest, params in pending.items():
-            apply_trial(params)
-            start = time.perf_counter()
-            value = self.context.evaluate_fn(self.context.model, self.context.data)
-            score, loss = split_metrics(value)
-            results.append(TrialResult(digest, score, loss,
-                                       time.perf_counter() - start))
-        return results
+        return self._evaluator().run(self.context.model, self.context.data,
+                                     self.context.evaluate_fn, pending,
+                                     apply_trial)
 
 
 # --------------------------------------------------------------------------- #

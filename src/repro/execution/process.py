@@ -13,11 +13,10 @@ shared-memory alternative that ships only an offset table).
 from __future__ import annotations
 
 import multiprocessing
-import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable
 
-from .base import ExecutionBackend, TrialResult, register_backend, split_metrics
+from .base import ExecutionBackend, TrialResult, register_backend
 
 __all__ = ["ProcessPoolBackend"]
 
@@ -28,7 +27,7 @@ __all__ = ["ProcessPoolBackend"]
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(model, data, evaluate_fn) -> None:
+def _init_worker(model, data, evaluate_fn, evaluator=None) -> None:
     # The model arrives clean (the pool is created before any trial is
     # applied), so the worker-local injector snapshots the same clean state
     # as the main process and apply_trial enforces the identical restore
@@ -37,6 +36,7 @@ def _init_worker(model, data, evaluate_fn) -> None:
     # (per-σ policies) cannot leak stale weights into the next one.
     from ..fault.drift import LogNormalDrift
     from ..fault.injector import FaultInjector
+    from ..inference import PerTrialEvaluator
 
     injector = FaultInjector(model, LogNormalDrift(0.0))
     injector.snapshot()
@@ -44,15 +44,17 @@ def _init_worker(model, data, evaluate_fn) -> None:
     _WORKER_STATE["injector"] = injector
     _WORKER_STATE["data"] = data
     _WORKER_STATE["evaluate_fn"] = evaluate_fn
+    _WORKER_STATE["evaluator"] = evaluator or PerTrialEvaluator()
 
 
-def _run_pickled_trial(digest: str, params: dict) -> tuple[str, float, float | None, float]:
-    _WORKER_STATE["injector"].apply_trial(params)
-    start = time.perf_counter()
-    value = _WORKER_STATE["evaluate_fn"](_WORKER_STATE["model"],
-                                         _WORKER_STATE["data"])
-    score, loss = split_metrics(value)
-    return digest, score, loss, time.perf_counter() - start
+def _run_trial_group(group: list) -> list[TrialResult]:
+    # The worker runs the same evaluator instance the main process would
+    # use in-process — batching logic has exactly one code path — so the
+    # per-trial scores a pool returns are the serial path's, bit for bit.
+    state = _WORKER_STATE
+    return state["evaluator"].run(state["model"], state["data"],
+                                  state["evaluate_fn"], dict(group),
+                                  state["injector"].apply_trial)
 
 
 def _pool_context():
@@ -62,13 +64,16 @@ def _pool_context():
 
 @register_backend("process")
 class ProcessPoolBackend(ExecutionBackend):
-    """Fan trials out over ``workers`` processes, one pickled trial per task.
+    """Fan trials out over ``workers`` processes, pickled trial groups as tasks.
 
-    The pool is created lazily on the first chunk with two or more unique
-    trials and capped by that chunk's size, so no process is forked (and
-    pays the model/data initializer cost) without work to do; single-trial
-    chunks always evaluate in-process.  Any pool failure propagates to the
-    engine, which degrades the rest of the sweep to serial evaluation.
+    The pool is created lazily on the first chunk with two or more tasks
+    and capped by that chunk's task count, so no process is forked (and
+    pays the model/data initializer cost) without work to do; chunks that
+    fit a single task always evaluate in-process.  With the default
+    per-trial evaluator a task is exactly one trial — the historical
+    behaviour; a batched evaluator packs ``trial_batch`` trials per task.
+    Any pool failure propagates to the engine, which degrades the rest of
+    the sweep to serial evaluation.
     """
 
     name = "process"
@@ -90,8 +95,24 @@ class ProcessPoolBackend(ExecutionBackend):
                 max_workers=min(self.workers, task_count),
                 mp_context=_pool_context(),
                 initializer=_init_worker,
-                initargs=(context.model, context.data, context.evaluate_fn))
+                initargs=(context.model, context.data, context.evaluate_fn,
+                          context.evaluator))
         return self._pool
+
+    def _group_pending(self, pending: dict[str, dict]) -> list[list]:
+        """Group pending trials into worker tasks of ``trial_batch`` trials.
+
+        One trial per task is the historical shipping pattern; a batched
+        evaluator widens tasks so workers amortise per-task overhead over
+        a whole stacked forward pass.
+        """
+        size = 1
+        if self.context is not None and self.context.evaluator is not None:
+            size = max(1, int(getattr(self.context.evaluator,
+                                      "trial_batch", 1)))
+        items = list(pending.items())
+        return [items[start:start + size]
+                for start in range(0, len(items), size)]
 
     @staticmethod
     def _task_bytes(digest: str, params: dict) -> int:
@@ -102,18 +123,17 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def run_trials(self, pending: dict[str, dict],
                    apply_trial: Callable[[dict], None]) -> list[TrialResult]:
-        if len(pending) < 2:
+        groups = self._group_pending(pending)
+        if len(groups) < 2:
             return self._run_in_process(pending, apply_trial)
-        pool = self._ensure_pool(len(pending))
-        futures = [pool.submit(_run_pickled_trial, digest, params)
-                   for digest, params in pending.items()]
+        pool = self._ensure_pool(len(groups))
+        futures = [pool.submit(_run_trial_group, group) for group in groups]
         self.tasks_shipped += len(futures)
         self.bytes_shipped += sum(self._task_bytes(digest, params)
                                   for digest, params in pending.items())
         results = []
         for future in futures:
-            digest, score, loss, seconds = future.result()
-            results.append(TrialResult(digest, score, loss, seconds))
+            results.extend(future.result())
         self.used_backend = self.name
         self.workers_used = self._pool._max_workers
         return results

@@ -15,7 +15,9 @@ Segment lifecycle: the main process creates one segment per
 ``run_trials`` chunk and unlinks it as soon as the chunk's results are in;
 workers cache their attachment per segment name (closing the previous one
 when a new chunk arrives) and always copy out of the mapping, so no live
-array ever aliases an unlinked segment.  Workers also unregister attached
+array ever aliases an unlinked segment.  The evaluation dataset rides in a
+second, *pinned* segment created with the pool and unlinked only when the
+backend closes — its zero-copy worker views outlive every trial chunk.  Workers also unregister attached
 segments from ``multiprocessing.resource_tracker`` — on CPython < 3.13 the
 tracker registers mere attachments and would try to double-unlink them at
 worker shutdown.
@@ -24,14 +26,17 @@ worker shutdown.
 from __future__ import annotations
 
 import pickle
-import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable
 
 import numpy as np
 
-from .base import TrialResult, register_backend, split_metrics
-from .process import _WORKER_STATE, ProcessPoolBackend
+from ..data.loader import Dataset
+from .base import TrialResult, register_backend
+from .process import (_init_worker, _pool_context, _WORKER_STATE,
+                      ProcessPoolBackend)
 
 __all__ = ["SharedMemoryBackend"]
 
@@ -43,15 +48,21 @@ OffsetTable = dict
 # Worker-side plumbing.
 # --------------------------------------------------------------------------- #
 _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+_PINNED: set[str] = set()
 
 
-def _attach(segment_name: str) -> shared_memory.SharedMemory:
-    """Attach to (and cache) one published segment, dropping stale ones."""
+def _attach(segment_name: str, pin: bool = False) -> shared_memory.SharedMemory:
+    """Attach to (and cache) one published segment, dropping stale ones.
+
+    Trial segments rotate per chunk, so a new attachment evicts the cached
+    previous one.  Pinned segments (the published evaluation dataset, whose
+    zero-copy views must stay valid for the pool's lifetime) survive the
+    rotation.
+    """
     segment = _ATTACHED.get(segment_name)
     if segment is None:
-        for stale in _ATTACHED.values():
-            stale.close()
-        _ATTACHED.clear()
+        for stale in [name for name in _ATTACHED if name not in _PINNED]:
+            _ATTACHED.pop(stale).close()
         segment = shared_memory.SharedMemory(name=segment_name)
         import multiprocessing
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -67,39 +78,84 @@ def _attach(segment_name: str) -> shared_memory.SharedMemory:
             except Exception:
                 pass  # tracking semantics differ across versions; never fatal
         _ATTACHED[segment_name] = segment
+        if pin:
+            _PINNED.add(segment_name)
     return segment
 
 
-def _run_shared_trial(digest: str, segment_name: str,
-                      table: OffsetTable) -> tuple[str, float, float | None, float]:
+def _run_shared_group(segment_name: str, entries: list) -> list[TrialResult]:
     segment = _attach(segment_name)
-    params = {}
-    for name, (offset, shape) in table.items():
-        view = np.ndarray(shape, dtype=np.float64, buffer=segment.buf,
-                          offset=offset)
-        # Copy out of the mapping: apply_trial must never install an array
-        # aliasing a segment the main process is about to unlink.
-        params[name] = np.array(view)
-    _WORKER_STATE["injector"].apply_trial(params)
-    start = time.perf_counter()
-    value = _WORKER_STATE["evaluate_fn"](_WORKER_STATE["model"],
-                                         _WORKER_STATE["data"])
-    score, loss = split_metrics(value)
-    return digest, score, loss, time.perf_counter() - start
+    pending = {}
+    for digest, table in entries:
+        params = {}
+        for name, (offset, shape) in table.items():
+            view = np.ndarray(shape, dtype=np.float64, buffer=segment.buf,
+                              offset=offset)
+            # Copy out of the mapping: apply_trial must never install an
+            # array aliasing a segment the main process is about to unlink.
+            params[name] = np.array(view)
+        pending[digest] = params
+    state = _WORKER_STATE
+    return state["evaluator"].run(state["model"], state["data"],
+                                  state["evaluate_fn"], pending,
+                                  state["injector"].apply_trial)
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory dataset publication.
+# --------------------------------------------------------------------------- #
+@dataclass
+class _DatasetHandle:
+    """Pool-initializer stand-in for a published evaluation dataset."""
+
+    segment: str
+    inputs_shape: tuple
+    labels_shape: tuple
+    labels_dtype: str
+    labels_offset: int
+    num_classes: int
+
+
+def _attach_dataset(handle: _DatasetHandle) -> Dataset:
+    """Rebuild the evaluation dataset over zero-copy views of its segment.
+
+    The views are read-only in practice (evaluation never writes inputs or
+    labels) and stay valid because the segment is pinned for the worker's
+    lifetime; ``Dataset`` keeps float64 arrays as-is, so no copy is made.
+    """
+    segment = _attach(handle.segment, pin=True)
+    inputs = np.ndarray(handle.inputs_shape, dtype=np.float64,
+                        buffer=segment.buf)
+    labels = np.ndarray(handle.labels_shape,
+                        dtype=np.dtype(handle.labels_dtype),
+                        buffer=segment.buf, offset=handle.labels_offset)
+    dataset = Dataset(inputs, labels)
+    dataset.num_classes = handle.num_classes
+    return dataset
+
+
+def _init_shared_worker(model, data, evaluate_fn, evaluator=None) -> None:
+    if isinstance(data, _DatasetHandle):
+        data = _attach_dataset(data)
+    _init_worker(model, data, evaluate_fn, evaluator)
 
 
 @register_backend("shared_memory")
 class SharedMemoryBackend(ProcessPoolBackend):
     """Worker-pool execution that ships offset tables instead of weights.
 
-    Inherits the pool lifecycle (lazy creation, single-trial chunks stay
-    in-process, failures degrade the sweep to serial) from
-    :class:`ProcessPoolBackend` and replaces only the task payload: per
-    chunk, all unique trials' arrays are packed into one shared-memory
-    segment, and each task carries a pickled ``(digest, segment name,
-    offset table)`` message of a few kilobytes regardless of model depth.
-    ``bytes_shipped`` counts those messages, which is exactly what the
-    ``BENCH_execution`` benchmark compares against the pickled pool.
+    Inherits the pool lifecycle (lazy creation, single-task chunks stay
+    in-process, failures degrade the sweep to serial) and the
+    ``trial_batch`` task grouping from :class:`ProcessPoolBackend` and
+    replaces only the payloads: per chunk, all unique trials' arrays are
+    packed into one shared-memory segment, and each task carries a pickled
+    ``(segment name, [(digest, offset table), ...])`` message of a few
+    kilobytes regardless of model depth.  The evaluation dataset itself is
+    published the same way, once, at pool creation — workers rebuild it
+    over zero-copy views of a pinned segment instead of unpickling a full
+    copy each.  ``bytes_shipped`` counts the task messages plus the pickled
+    dataset handle, which is exactly what the ``BENCH_execution`` benchmark
+    compares against the pickled pool.
     """
 
     name = "shared_memory"
@@ -108,8 +164,47 @@ class SharedMemoryBackend(ProcessPoolBackend):
     def __init__(self, workers: int = 2):
         super().__init__(workers=workers)
         self._segments: list[shared_memory.SharedMemory] = []
+        self._data_segment: shared_memory.SharedMemory | None = None
 
     # ------------------------------------------------------------------ #
+    def _ensure_pool(self, task_count: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = self.context
+            data = context.data
+            if isinstance(data, Dataset):
+                # Publish the evaluation data once instead of pickling a
+                # full copy into every worker's initializer; workers
+                # rebuild the dataset over zero-copy views.  Non-Dataset
+                # evaluation data (e.g. detection sample lists) still
+                # travels pickled.
+                segment, handle = self._publish_dataset(data)
+                self._data_segment = segment
+                self.bytes_shipped += len(pickle.dumps(handle))
+                data = handle
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, task_count),
+                mp_context=_pool_context(),
+                initializer=_init_shared_worker,
+                initargs=(context.model, data, context.evaluate_fn,
+                          context.evaluator))
+        return self._pool
+
+    def _publish_dataset(self, data: Dataset
+                         ) -> tuple[shared_memory.SharedMemory, _DatasetHandle]:
+        """Copy the dataset's arrays into one long-lived pinned segment."""
+        inputs = np.ascontiguousarray(data.inputs, dtype=np.float64)
+        labels = np.ascontiguousarray(data.labels)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(inputs.nbytes + labels.nbytes, 1))
+        np.ndarray(inputs.shape, dtype=np.float64,
+                   buffer=segment.buf)[...] = inputs
+        np.ndarray(labels.shape, dtype=labels.dtype, buffer=segment.buf,
+                   offset=inputs.nbytes)[...] = labels
+        handle = _DatasetHandle(segment.name, inputs.shape, labels.shape,
+                                str(labels.dtype), inputs.nbytes,
+                                data.num_classes)
+        return segment, handle
+
     def _publish(self, pending: dict[str, dict]
                  ) -> tuple[shared_memory.SharedMemory, dict[str, OffsetTable]]:
         """Pack every pending trial into one segment; return offset tables."""
@@ -138,21 +233,22 @@ class SharedMemoryBackend(ProcessPoolBackend):
 
     def run_trials(self, pending: dict[str, dict],
                    apply_trial: Callable[[dict], None]) -> list[TrialResult]:
-        if len(pending) < 2:
+        groups = self._group_pending(pending)
+        if len(groups) < 2:
             return self._run_in_process(pending, apply_trial)
-        pool = self._ensure_pool(len(pending))
+        pool = self._ensure_pool(len(groups))
         segment, tables = self._publish(pending)
         try:
             futures = []
-            for digest in pending:
-                message = (digest, segment.name, tables[digest])
+            for group in groups:
+                message = (segment.name,
+                           [(digest, tables[digest]) for digest, _ in group])
                 self.bytes_shipped += len(pickle.dumps(message))
-                futures.append(pool.submit(_run_shared_trial, *message))
+                futures.append(pool.submit(_run_shared_group, *message))
             self.tasks_shipped += len(futures)
             results = []
             for future in futures:
-                digest, score, loss, seconds = future.result()
-                results.append(TrialResult(digest, score, loss, seconds))
+                results.extend(future.result())
         finally:
             self._release(segment)
         self.used_backend = self.name
@@ -165,3 +261,7 @@ class SharedMemoryBackend(ProcessPoolBackend):
         # closing the backend must never leak shared memory.
         for segment in list(self._segments):
             self._release(segment)
+        if self._data_segment is not None:
+            self._data_segment.close()
+            self._data_segment.unlink()
+            self._data_segment = None

@@ -1,0 +1,20 @@
+"""Trial-batched inference: who calls the model, and how many trials at once.
+
+This package owns the model-call side of Monte-Carlo fault evaluation —
+the :class:`InferenceEvaluator` contract between the measurement layers
+(sweep engine, BayesFT objective, ReRAM deploy) and :mod:`repro.nn` — plus
+the batched-capable metrics the evaluators drive.  See
+:mod:`repro.inference.evaluator` for the determinism story: trial batching
+is a scheduling knob, never a results knob.
+"""
+
+from .evaluator import (
+    InferenceEvaluator, PerTrialEvaluator, TrialBatchedEvaluator,
+    resolve_evaluator,
+)
+from .metrics import AccuracyAndLoss, ClassificationAccuracy
+
+__all__ = [
+    "InferenceEvaluator", "PerTrialEvaluator", "TrialBatchedEvaluator",
+    "resolve_evaluator", "AccuracyAndLoss", "ClassificationAccuracy",
+]

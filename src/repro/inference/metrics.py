@@ -1,0 +1,103 @@
+"""Batched-capable evaluation metrics.
+
+These are the evaluation functions the measurement layers pass to the
+sweep engine, upgraded with the ``evaluate_trials`` protocol the
+:class:`~repro.inference.evaluator.TrialBatchedEvaluator` looks for:
+
+``evaluate_trials(model, data, trials) -> [metrics]``
+
+called *after* the fault injector has installed ``trials`` weight
+realisations stacked along a leading trial axis.  The implementation tiles
+the evaluation inputs trial-major, runs one forward pass inside
+:func:`repro.nn.functional.trial_batching`, and unstacks per-trial scores
+— computing each trial's metric from exactly the logits the per-trial call
+path would produce, so both paths are bit-identical.
+
+Both metrics are module-level classes with plain-data attributes, so the
+process-pool backends can pickle them to workers (the reason the engine's
+historical ``functools.partial(classification_accuracy, ...)`` default
+became :class:`ClassificationAccuracy`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.loader import DataLoader
+from ..nn import cross_entropy
+from ..nn.functional import trial_batching
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["ClassificationAccuracy", "AccuracyAndLoss"]
+
+
+class ClassificationAccuracy:
+    """Classification accuracy over a dataset, per-trial or trial-batched.
+
+    Calling the instance reproduces
+    :func:`repro.evaluation.robustness.accuracy` exactly (same loader, same
+    integer-count arithmetic).  ``evaluate_trials`` keeps the same
+    per-sample batch boundaries and tiles each batch trial-major, so every
+    trial's logits — and therefore its accuracy — match the per-trial path
+    bit for bit.
+    """
+
+    def __init__(self, batch_size: int = 256):
+        self.batch_size = int(batch_size)
+
+    def __call__(self, model, data) -> float:
+        model.eval()
+        loader = DataLoader(data, batch_size=self.batch_size, shuffle=False)
+        correct = 0
+        for inputs, labels in loader:
+            with no_grad():
+                logits = model(Tensor(inputs))
+            correct += int((logits.data.argmax(axis=1) == labels).sum())
+        return correct / max(len(data), 1)
+
+    def evaluate_trials(self, model, data, trials: int) -> list[float]:
+        model.eval()
+        loader = DataLoader(data, batch_size=self.batch_size, shuffle=False)
+        correct = np.zeros(trials, dtype=np.int64)
+        for inputs, labels in loader:
+            tiled = np.concatenate([inputs] * trials, axis=0)
+            with no_grad(), trial_batching(trials):
+                logits = model(Tensor(tiled))
+            predictions = logits.data.argmax(axis=1).reshape(trials,
+                                                             len(labels))
+            correct += (predictions == labels[None, :]).sum(axis=1)
+        total = max(len(data), 1)
+        return [int(count) / total for count in correct]
+
+
+class AccuracyAndLoss:
+    """Accuracy and cross-entropy from one forward pass per trial (batch).
+
+    The BayesFT inner objective's metric: the engine stores the accuracy as
+    the trial score and the loss in the report's loss track, so one sweep
+    serves Eq. 3 (``neg_loss``) and the figures (``accuracy``).  Evaluation
+    data is one pre-subsampled batch, consumed whole (no loader).  The
+    caller owns ``model.eval()``, exactly like the historical
+    ``_batch_metrics`` function this class replaces as the engine default.
+    """
+
+    def __call__(self, model, batch) -> tuple[float, float]:
+        with no_grad():
+            logits = model(Tensor(batch.inputs))
+        score = float((logits.data.argmax(axis=1) == batch.labels).mean())
+        loss = float(cross_entropy(logits, batch.labels).item())
+        return score, loss
+
+    def evaluate_trials(self, model, batch,
+                        trials: int) -> list[tuple[float, float]]:
+        samples = batch.inputs.shape[0]
+        tiled = np.concatenate([batch.inputs] * trials, axis=0)
+        with no_grad(), trial_batching(trials):
+            logits = model(Tensor(tiled))
+        results = []
+        for index in range(trials):
+            block = logits.data[index * samples:(index + 1) * samples]
+            score = float((block.argmax(axis=1) == batch.labels).mean())
+            loss = float(cross_entropy(Tensor(block), batch.labels).item())
+            results.append((score, loss))
+        return results

@@ -4,22 +4,85 @@ These free functions implement the forward/backward math used by the layer
 classes in :mod:`repro.nn.layers`.  Convolution and pooling use an im2col
 lowering so that the heavy lifting is a single BLAS matmul, which keeps CPU
 training of the paper's small models tractable.
+
+Trial batching
+--------------
+Monte-Carlo fault evaluation runs the *same* inputs through ``T``
+independently drifted copies of the weights.  Inside a
+:func:`trial_batching` context the weighted operations (:func:`linear`,
+:func:`conv2d`, and the normalisation layers' affine step) accept
+parameters stacked along a leading trial axis — ``(T, out, in)`` instead
+of ``(out, in)`` — and an input batch tiled trial-major to ``T * N``
+samples.  Everything *per-sample* (activations, pooling, im2col, softmax,
+per-sample normalisation statistics) runs once over the whole ``T * N``
+batch, amortising numpy dispatch and Python loop overhead; the GEMMs
+themselves stay per-trial with exactly the operand shapes, strides and
+values of the unbatched path, so a trial-batched forward is **bit-identical**
+to ``T`` separate forwards.  That equality is what lets the drift-sweep
+engine treat ``trial_batch`` as a pure scheduling knob (see
+:mod:`repro.inference`).
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
 
 import numpy as np
 from scipy.special import erf as _erf
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "relu", "leaky_relu", "elu", "gelu", "softmax", "log_softmax",
     "conv2d", "max_pool2d", "avg_pool2d", "adaptive_avg_pool2d",
     "linear", "dropout_mask", "im2col", "col2im", "one_hot",
+    "trial_batching", "trial_count",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Trial-batched inference context
+# --------------------------------------------------------------------------- #
+_TRIAL_COUNT = 1
+
+
+@contextlib.contextmanager
+def trial_batching(count: int):
+    """Declare that the forward pass carries ``count`` stacked weight trials.
+
+    Inside the context the input batch must be ``count`` trial-major copies
+    of the evaluation batch, and installed parameters may carry a leading
+    ``(count,)`` trial axis (parameters without one are shared across
+    trials).  Inference-only: the trial-aware operations refuse to run with
+    gradient recording enabled.
+    """
+    global _TRIAL_COUNT
+    if count < 1:
+        raise ValueError("trial_batching needs at least one trial")
+    previous = _TRIAL_COUNT
+    _TRIAL_COUNT = int(count)
+    try:
+        yield
+    finally:
+        _TRIAL_COUNT = previous
+
+
+def trial_count() -> int:
+    """Number of stacked trials in the active :func:`trial_batching` context."""
+    return _TRIAL_COUNT
+
+
+def _trial_rows(data: np.ndarray, trials: int) -> int:
+    if is_grad_enabled():
+        raise RuntimeError(
+            "trial_batching is an inference-only context; wrap the forward "
+            "pass in no_grad()")
+    if data.shape[0] % trials:
+        raise ValueError(
+            f"trial_batching({trials}) needs the batch tiled trial-major to "
+            f"a multiple of {trials} samples; got {data.shape[0]}")
+    return data.shape[0] // trials
 
 
 # --------------------------------------------------------------------------- #
@@ -90,11 +153,43 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 # Linear / dropout helpers
 # --------------------------------------------------------------------------- #
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
-    """Affine transform ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    """Affine transform ``x @ weight.T + bias`` (PyTorch weight layout).
+
+    Inside a :func:`trial_batching` context ``weight``/``bias`` may carry a
+    leading trial axis; each trial's slice of the tiled batch then sees its
+    own weights through a per-trial GEMM with the exact operand shapes of
+    the unbatched path (bit-identical results).
+    """
+    if _TRIAL_COUNT > 1:
+        return _trial_linear(x, weight, bias)
     out = x @ weight.transpose()
     if bias is not None:
         out = out + bias
     return out
+
+
+def _trial_linear(x: Tensor, weight: Tensor, bias: Tensor | None) -> Tensor:
+    trials = _TRIAL_COUNT
+    rows = _trial_rows(x.data, trials)
+    weights = weight.data
+    biases = None if bias is None else bias.data
+    if weights.ndim == 3:
+        # Stacked matmul runs the T per-trial GEMMs in one C-level call;
+        # each slice is the same dgemm as the unbatched `x @ w.T`, so the
+        # result stays bit-identical (unlike one big M-batched GEMM, whose
+        # blocking depends on M).
+        grouped = x.data.reshape((trials, rows) + x.data.shape[1:])
+        out = np.matmul(grouped, weights.transpose(0, 2, 1))
+        if biases is not None:
+            out = out + (biases[:, None, :] if biases.ndim == 2 else biases)
+        return Tensor(out.reshape((trials * rows,) + out.shape[2:]))
+    blocks = []
+    for index in range(trials):
+        block = x.data[index * rows:(index + 1) * rows] @ weights.T
+        if biases is not None:
+            block = block + (biases[index] if biases.ndim == 2 else biases)
+        blocks.append(block)
+    return Tensor(np.concatenate(blocks, axis=0))
 
 
 def dropout_mask(shape: tuple, rate: float, rng: np.random.Generator) -> np.ndarray:
@@ -162,8 +257,13 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
            stride: int = 1, padding: int = 0) -> Tensor:
     """2-D convolution over an NCHW tensor.
 
-    ``weight`` has shape ``(out_channels, in_channels, kH, kW)``.
+    ``weight`` has shape ``(out_channels, in_channels, kH, kW)``; inside a
+    :func:`trial_batching` context it may carry a leading trial axis (the
+    shared im2col lowering runs once over the tiled batch, the contraction
+    per trial — bit-identical to separate per-trial convolutions).
     """
+    if _TRIAL_COUNT > 1:
+        return _trial_conv2d(x, weight, bias, stride, padding)
     n, c, h, w = x.shape
     out_channels, in_channels, kernel_h, kernel_w = weight.shape
     if c != in_channels:
@@ -192,6 +292,49 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
             x._accumulate(grad_input)
 
     return Tensor._make(out_data, parents, backward)
+
+
+def _trial_conv2d(x: Tensor, weight: Tensor, bias: Tensor | None,
+                  stride: int, padding: int) -> Tensor:
+    trials = _TRIAL_COUNT
+    rows = _trial_rows(x.data, trials)
+    weights = weight.data
+    stacked = weights.ndim == 5
+    out_channels, in_channels, kernel_h, kernel_w = weights.shape[-4:]
+    if x.data.shape[1] != in_channels:
+        raise ValueError(f"conv2d: input has {x.data.shape[1]} channels, "
+                         f"weight expects {in_channels}")
+    # One im2col over the whole tiled batch (the Python copy loop is the
+    # per-sample overhead worth amortising); the contraction stays per trial
+    # so its GEMM operands match the unbatched path exactly.
+    columns, out_h, out_w = im2col(x.data, kernel_h, kernel_w, stride, padding)
+    biases = None if bias is None else bias.data
+    if stacked:
+        # One batched einsum: the t axis rides along as a batch dimension,
+        # so each trial's contraction is the same "ok,nkp->nop" as the
+        # unbatched path and the output stays bit-identical.
+        grouped = columns.reshape((trials, rows) + columns.shape[1:])
+        weight_matrix = weights.reshape(trials, out_channels, -1)
+        out = np.einsum("tok,tnkp->tnop", weight_matrix, grouped,
+                        optimize=True)
+        if biases is not None:
+            if biases.ndim == 2:
+                out = out + biases[:, None, :, None]
+            else:
+                out = out + biases[None, None, :, None]
+        return Tensor(out.reshape(trials * rows, out_channels, out_h, out_w))
+    weight_matrix = weights.reshape(out_channels, -1)
+    blocks = []
+    for index in range(trials):
+        block = np.einsum("ok,nkp->nop", weight_matrix,
+                          columns[index * rows:(index + 1) * rows],
+                          optimize=True)
+        block = block.reshape(rows, out_channels, out_h, out_w)
+        if biases is not None:
+            b = biases[index] if biases.ndim == 2 else biases
+            block = block + b.reshape(1, -1, 1, 1)
+        blocks.append(block)
+    return Tensor(np.concatenate(blocks, axis=0))
 
 
 def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import functional as F
 from ..module import Module, Parameter
 from ..tensor import Tensor
 
@@ -35,9 +36,40 @@ class _NormBase(Module):
     def _affine(self, x: Tensor, channel_axis: int) -> Tensor:
         if not self.affine:
             return x
+        if F.trial_count() > 1 and (self.weight.data.ndim == 2
+                                    or self.bias.data.ndim == 2):
+            return self._affine_trials(x, channel_axis)
         shape = [1] * x.ndim
         shape[channel_axis] = self.num_features
         return x * self.weight.reshape(*shape) + self.bias.reshape(*shape)
+
+    def _affine_trials(self, x: Tensor, channel_axis: int) -> Tensor:
+        """Per-trial (gamma, beta) stacked along a leading trial axis.
+
+        Inside a :func:`repro.nn.functional.trial_batching` context the
+        fault injector installs affine parameters of shape ``(trials, C)``.
+        The batch is viewed trial-major and the scale/shift broadcast per
+        trial — elementwise, hence bit-identical to applying each trial's
+        ``(C,)`` parameters to its own slice of the batch.
+        """
+        trials = F.trial_count()
+        data = x.data
+        if data.shape[0] % trials:
+            raise ValueError(
+                f"trial_batching({trials}) needs the batch tiled trial-major "
+                f"to a multiple of {trials} samples; got {data.shape[0]}")
+        grouped = data.reshape((trials, data.shape[0] // trials)
+                               + data.shape[1:])
+
+        def _spread(values: np.ndarray) -> np.ndarray:
+            shape = [1] * grouped.ndim
+            shape[channel_axis + 1] = self.num_features
+            if values.ndim == 2:
+                shape[0] = trials
+            return values.reshape(shape)
+
+        out = grouped * _spread(self.weight.data) + _spread(self.bias.data)
+        return Tensor(out.reshape(data.shape))
 
 
 class BatchNorm1d(_NormBase):

@@ -195,7 +195,8 @@ def deploy_on_reram(model: Module, config: DeviceConfig | None = None,
                     deployment_time: float = 1.0, rng=None,
                     tile_rows: int = 128, tile_cols: int = 128,
                     trials: int = 1, validate_data=None,
-                    evaluate_fn=None, backend=None) -> DeploymentReport:
+                    evaluate_fn=None, backend=None,
+                    trial_batch: int | None = None) -> DeploymentReport:
     """Overwrite ``model``'s parameters with crossbar-realised values.
 
     Each realisation is drawn as a :meth:`FaultInjector.draw_trials` trial
@@ -212,9 +213,11 @@ def deploy_on_reram(model: Module, config: DeviceConfig | None = None,
     :class:`~repro.evaluation.sweep.DriftSweepEngine` (``None``/name/
     instance), so candidates for a deep model can be fanned out over a
     shared-memory worker pool — and the best-scoring candidate is the one
-    programmed.  ``evaluate_fn`` defaults to classification accuracy.
-    Candidate draws are pre-drawn from the seeded injector, so the selected
-    realisation is bit-identical for any backend or worker count.
+    programmed.  ``evaluate_fn`` defaults to classification accuracy, and
+    ``trial_batch`` scores that many candidates per stacked forward pass
+    (bit-identically; see :mod:`repro.inference`).  Candidate draws are
+    pre-drawn from the seeded injector, so the selected realisation is
+    bit-identical for any backend, worker count or trial-batch size.
 
     Returns a :class:`DeploymentReport` with the per-parameter mean relative
     errors, the device model's equivalent Eq.-1 σ, crossbar bookkeeping and
@@ -242,11 +245,13 @@ def deploy_on_reram(model: Module, config: DeviceConfig | None = None,
     validation_score = None
     if validate_data is not None:
         if evaluate_fn is None:
-            from ..evaluation.sweep import classification_accuracy
-            evaluate_fn = classification_accuracy
+            from ..inference import ClassificationAccuracy
+            evaluate_fn = ClassificationAccuracy()
+        from ..inference import resolve_evaluator
         exec_backend = resolve_backend(backend)
         context = EvalContext(model=model, data=validate_data,
-                              evaluate_fn=evaluate_fn)
+                              evaluate_fn=evaluate_fn,
+                              evaluator=resolve_evaluator(trial_batch))
         exec_backend.open(context)
         pending = {f"candidate-{index}": params
                    for index, params in enumerate(candidates)}

@@ -71,6 +71,7 @@ def _cmd_run(args) -> int:
     runner = ScenarioRunner(store, workers=args.workers,
                             max_chunk_trials=args.chunk_trials,
                             backend=args.backend,
+                            trial_batch=args.trial_batch,
                             progress=None if args.json else print)
     # Figure scenarios default to the fast config (scenario.default_config);
     # --full runs the harness at its own full-scale default.  Grid cells
@@ -229,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trial execution backend (never changes results); "
                             "shared_memory ships weights via shared memory "
                             "instead of pickling")
+    p_run.add_argument("--trial-batch", type=int, default=None,
+                       dest="trial_batch",
+                       help="trials evaluated per stacked forward pass "
+                            "(never changes results)")
     p_run.add_argument("--cell-workers", type=int, default=None,
                        dest="cell_workers",
                        help="fan a grid scenario's independent cells over N "

@@ -92,10 +92,11 @@ class ScenarioRunner:
         Optional :class:`ResultStore`; without one every cell is executed
         fresh and nothing is persisted (the figure harnesses default to
         this, keeping them side-effect free).
-    workers, max_chunk_trials, backend:
+    workers, max_chunk_trials, backend, trial_batch:
         Scheduling overrides applied to every cell (``None`` defers to the
         spec); ``backend`` names a :mod:`repro.execution` trial backend
-        (``serial``/``process``/``shared_memory``).  They never change
+        (``serial``/``process``/``shared_memory``), ``trial_batch`` how
+        many trials each stacked forward pass evaluates.  They never change
         results — the engine's determinism contract — and never enter the
         spec hash.
     progress:
@@ -107,11 +108,13 @@ class ScenarioRunner:
                  workers: int | None = None,
                  max_chunk_trials: int | None = None,
                  backend: str | None = None,
+                 trial_batch: int | None = None,
                  progress: Callable[[str], None] | None = None):
         self.store = store
         self.workers = workers
         self.max_chunk_trials = max_chunk_trials
         self.backend = backend
+        self.trial_batch = trial_batch
         self.progress = progress
         #: Every cell this runner has resolved, in execution order.
         self.runs: list[ScenarioRun] = []
@@ -126,8 +129,11 @@ class ScenarioRunner:
         max_chunk = (self.max_chunk_trials if self.max_chunk_trials is not None
                      else spec.max_chunk_trials)
         backend = self.backend if self.backend is not None else spec.backend
+        trial_batch = (self.trial_batch if self.trial_batch is not None
+                       else spec.trial_batch)
         kwargs = dict(trials=spec.trials, workers=int(workers),
                       max_chunk_trials=max_chunk, backend=backend,
+                      trial_batch=trial_batch,
                       drift_factory=self._drift_factory(spec))
         if spec.metric == "map":
             kwargs["evaluate_fn"] = functools.partial(mean_average_precision,
@@ -222,7 +228,8 @@ class ScenarioRunner:
             # --backend keeps choosing the trial backend inside each cell.
             runner_kwargs = dict(workers=self.workers,
                                  max_chunk_trials=self.max_chunk_trials,
-                                 backend=self.backend)
+                                 backend=self.backend,
+                                 trial_batch=self.trial_batch)
             payloads = run_cells(missing, store_root, scenario,
                                  workers=workers, runner_kwargs=runner_kwargs)
             executed = {spec.spec_hash(): payload

@@ -191,10 +191,10 @@ class ScenarioSpec:
     **Identity vs scheduling.**  :meth:`spec_hash` covers every field that
     determines the numbers — model, dataset, fault, per-layer ``policy``,
     grid, trials, seed, metric, training recipe, context — and deliberately
-    excludes ``workers``, ``max_chunk_trials`` and ``backend``: the sweep
-    engine guarantees bit-identical results for any worker count, chunk
-    size or execution backend, so scheduling knobs must never fragment the
-    result store.
+    excludes ``workers``, ``max_chunk_trials``, ``backend`` and
+    ``trial_batch``: the sweep engine guarantees bit-identical results for
+    any worker count, chunk size, execution backend or trial-batch size, so
+    scheduling knobs must never fragment the result store.
     """
 
     name: str
@@ -221,6 +221,7 @@ class ScenarioSpec:
     workers: int = 0
     max_chunk_trials: int | None = None
     backend: str | None = None
+    trial_batch: int | None = None
 
     _SCHEDULING_EXTRAS = ("sweep_workers", "sweep_chunk_trials")
 
@@ -270,6 +271,7 @@ class ScenarioSpec:
             "workers": self.workers,
             "max_chunk_trials": self.max_chunk_trials,
             "backend": self.backend,
+            "trial_batch": self.trial_batch,
         }
 
     @classmethod
@@ -297,6 +299,7 @@ class ScenarioSpec:
         data.pop("workers")
         data.pop("max_chunk_trials")
         data.pop("backend")
+        data.pop("trial_batch")
         data["train"]["extra"] = {
             key: value for key, value in data["train"]["extra"].items()
             if key not in self._SCHEDULING_EXTRAS}
