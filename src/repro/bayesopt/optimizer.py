@@ -9,10 +9,20 @@ trial's dropout configuration.  :class:`BayesianOptimizer` exposes the
 :class:`~repro.core.algorithm.BayesFTSearch` as well as a self-contained
 :meth:`~BayesianOptimizer.optimize` loop; :class:`OptimizationTrace` records
 every trial for regret plots and NaN-safe ``best_*`` lookups.
+
+For concurrent trial evaluation, :meth:`BayesianOptimizer.suggest_batch`
+proposes ``q`` points at once with the constant-liar heuristic: each pending
+(suggested but not yet observed) point is *fantasised* into the GP fit at a
+fixed "liar" value, so the refitted acquisition steers later slots of the
+batch away from earlier ones.  Fantasies live only in the pending list —
+:meth:`~BayesianOptimizer.observe` retracts them the moment the real
+observation arrives, so they can never leak into the
+:class:`OptimizationTrace` or any ``best_*`` accessor.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -64,6 +74,22 @@ class OptimizationTrace:
     def best_value(self) -> float:
         return self.values[self.best_index]
 
+    def canonical_dict(self) -> dict:
+        """Deterministic projection of the trace for byte-comparison.
+
+        Two runs of the same seeded search are equivalent iff their
+        canonical dicts serialise to the same JSON — the same contract
+        :meth:`repro.evaluation.sweep.SweepReport.canonical_dict` gives
+        sweeps.
+        """
+        return {"points": [[float(x) for x in point] for point in self.points],
+                "values": [float(v) for v in self.values]}
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace); byte-comparable."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
     def running_best(self) -> np.ndarray:
         """Cumulative best *finite* objective after each trial (regret plots).
 
@@ -104,12 +130,16 @@ class BayesianOptimizer:
     rng:
         Seed or ``numpy.random.Generator`` for candidate sampling; a fixed
         seed makes the whole optimisation reproducible.
+    liar:
+        Fantasy value assigned to pending points during batch suggestion:
+        ``"min"`` (default, the pessimistic constant-liar that pushes the
+        batch apart), ``"mean"`` or ``"max"`` over the finite observations.
     """
 
     def __init__(self, bounds: Sequence[tuple[float, float]],
                  acquisition: AcquisitionFunction | None = None,
                  kernel=None, n_initial: int = 3, n_candidates: int = 256,
-                 noise: float = 1e-4, rng=None):
+                 noise: float = 1e-4, rng=None, liar: str = "min"):
         self.bounds = np.asarray(bounds, dtype=np.float64)
         if self.bounds.ndim != 2 or self.bounds.shape[1] != 2:
             raise ValueError("bounds must be a sequence of (low, high) pairs")
@@ -117,6 +147,8 @@ class BayesianOptimizer:
             raise ValueError("each bound must satisfy low < high")
         if n_initial < 1:
             raise ValueError("n_initial must be at least 1")
+        if liar not in ("min", "mean", "max"):
+            raise ValueError("liar must be 'min', 'mean' or 'max'")
         self.dim = self.bounds.shape[0]
         self.acquisition = acquisition or PosteriorMean()
         self.kernel = kernel or ExponentialKernel(lengthscales=np.ones(self.dim))
@@ -124,45 +156,133 @@ class BayesianOptimizer:
         self.n_candidates = n_candidates
         self.noise = noise
         self.rng = get_rng(rng)
+        self.liar = liar
         self.trace = OptimizationTrace()
+        # Points suggested via suggest_batch() whose real observation has not
+        # arrived yet; fantasised into the GP fit, retracted by observe().
+        self._pending: list[np.ndarray] = []
+        # Lazily created on the first suggest_batch() call so the sequential
+        # suggest() path consumes exactly the RNG stream it always has.
+        self._batch_seeds: np.random.SeedSequence | None = None
 
     # ------------------------------------------------------------------ #
-    def _sample_uniform(self, count: int) -> np.ndarray:
+    def _sample_uniform(self, count: int, rng=None) -> np.ndarray:
         span = self.bounds[:, 1] - self.bounds[:, 0]
-        return self.bounds[:, 0] + span * self.rng.random((count, self.dim))
+        rng = self.rng if rng is None else rng
+        return self.bounds[:, 0] + span * rng.random((count, self.dim))
 
-    def suggest(self) -> np.ndarray:
-        """Propose the next trial point.
+    @staticmethod
+    def _argmax_stable(scores: np.ndarray, candidates: np.ndarray) -> int:
+        """Argmax with a deterministic lexicographic tie-break.
+
+        ``np.argmax`` keeps the first maximal index, which makes the chosen
+        point depend on candidate *ordering* — under batch suggestion the
+        same acquisition landscape must pick the same point regardless of
+        how the candidate pool happened to be assembled.  Among exactly-tied
+        scores the lexicographically smallest candidate wins.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        index = int(np.argmax(scores))
+        ties = np.flatnonzero(scores == scores[index])
+        if len(ties) <= 1:  # unique max (or a NaN score, which never ties)
+            return index
+        order = np.lexsort(candidates[ties].T[::-1])
+        return int(ties[order[0]])
+
+    def _liar_value(self, values: np.ndarray) -> float:
+        if self.liar == "min":
+            return float(np.min(values))
+        if self.liar == "max":
+            return float(np.max(values))
+        return float(np.mean(values))
+
+    def _suggest_from(self, rng) -> np.ndarray:
+        """One suggestion, drawing candidate randomness from ``rng``.
 
         Only finite observations feed the surrogate: a NaN objective (e.g. a
         diverged training run, mirroring wandb's ``bayes_search`` NaN
         handling) would otherwise poison the GP posterior and make
-        ``argmax`` pick garbage forever after.  Until ``n_initial`` finite
-        observations exist, suggestions stay uniformly random.
+        ``argmax`` pick garbage forever after.  Pending batch points are
+        fantasised at the liar value; a pending point whose trial later
+        fails (NaN) is simply retracted, so it cannot poison the fit either.
+        Until ``n_initial`` finite observations exist, suggestions stay
+        uniformly random.
         """
         finite = self.trace.finite_indices()
         if len(finite) < self.n_initial:
-            return self._sample_uniform(1)[0]
+            return self._sample_uniform(1, rng)[0]
         gp = GaussianProcessRegressor(kernel=self.kernel, noise=self.noise)
         points = np.stack(self.trace.points)[finite]
         values = np.asarray(self.trace.values, dtype=np.float64)[finite]
+        if self._pending:
+            liar = self._liar_value(values)
+            points = np.vstack([points, np.stack(self._pending)])
+            values = np.concatenate(
+                [values, np.full(len(self._pending), liar, dtype=np.float64)])
         gp.fit(points, values)
-        candidates = self._sample_uniform(self.n_candidates)
+        candidates = self._sample_uniform(self.n_candidates, rng)
         # Always include the best point found so far plus small perturbations
         # of it, so exploitation can refine promising regions.
         best = self.trace.best_point
-        jitter = best + self.rng.normal(0, 0.05, size=(8, self.dim)) * \
+        jitter = best + rng.normal(0, 0.05, size=(8, self.dim)) * \
             (self.bounds[:, 1] - self.bounds[:, 0])
         jitter = np.clip(jitter, self.bounds[:, 0], self.bounds[:, 1])
         candidates = np.vstack([candidates, best[None, :], jitter])
         scores = self.acquisition(gp, candidates, best_observed=self.trace.best_value)
-        return candidates[int(np.argmax(scores))]
+        return candidates[self._argmax_stable(scores, candidates)].copy()
+
+    def suggest(self) -> np.ndarray:
+        """Propose the next trial point (see :meth:`_suggest_from`)."""
+        return self._suggest_from(self.rng)
+
+    def _next_batch_rng(self) -> np.random.Generator:
+        if self._batch_seeds is None:
+            self._batch_seeds = np.random.SeedSequence(
+                int(self.rng.integers(0, 2 ** 63 - 1)))
+        return np.random.default_rng(self._batch_seeds.spawn(1)[0])
+
+    def suggest_batch(self, q: int) -> list[np.ndarray]:
+        """Propose ``q`` points for concurrent evaluation (constant liar).
+
+        Each slot draws its candidates from a freshly spawned RNG stream, so
+        slot ``j``'s proposal depends only on the observed trace, the
+        pending set and ``j`` — never on how many random draws an earlier
+        slot consumed internally.  Every returned point is registered as
+        *pending* and fantasised at the liar value in later fits until
+        :meth:`observe` delivers its real objective.
+        """
+        if q < 1:
+            raise ValueError("q must be at least 1")
+        points = []
+        for _ in range(q):
+            point = self._suggest_from(self._next_batch_rng())
+            self._pending.append(point.copy())
+            points.append(point)
+        return points
+
+    @property
+    def pending_points(self) -> list[np.ndarray]:
+        """Copies of the suggested-but-unobserved points (fantasy anchors)."""
+        return [point.copy() for point in self._pending]
+
+    def clear_pending(self) -> None:
+        """Drop all fantasies (e.g. when abandoning an in-flight batch)."""
+        self._pending.clear()
 
     def observe(self, point: np.ndarray, value: float) -> None:
-        """Record the objective value measured at ``point``."""
+        """Record the objective value measured at ``point``.
+
+        If ``point`` is pending from a previous :meth:`suggest_batch` call,
+        its fantasy is retracted: from here on the GP sees only the real
+        observation recorded in the trace.
+        """
         point = np.asarray(point, dtype=np.float64)
         if point.shape != (self.dim,):
             raise ValueError(f"point must have shape ({self.dim},)")
+        for i, pending in enumerate(self._pending):
+            if pending.tobytes() == point.tobytes():
+                del self._pending[i]
+                break
         self.trace.append(point, value)
 
     def optimize(self, objective: Callable[[np.ndarray], float],

@@ -27,6 +27,13 @@ class RandomSearchOptimizer:
         span = self.bounds[:, 1] - self.bounds[:, 0]
         return self.bounds[:, 0] + span * self.rng.random(self.dim)
 
+    def suggest_batch(self, q: int) -> list[np.ndarray]:
+        """``q`` independent uniform draws (random search has no surrogate
+        to fantasise on, so batch suggestion is just repeated suggestion)."""
+        if q < 1:
+            raise ValueError("q must be at least 1")
+        return [self.suggest() for _ in range(q)]
+
     def observe(self, point: np.ndarray, value: float) -> None:
         self.trace.append(point, value)
 

@@ -7,6 +7,10 @@
   weights.
 * :class:`BayesFTSearch` — Algorithm 1: alternating SGD on the weights and
   Gaussian-process Bayesian optimisation on the dropout rates.
+* :class:`AsyncTrialScheduler` — batch-synchronous concurrent search:
+  constant-liar ``q``-point suggestion fanned over worker processes with
+  ordered observation replay (seeded traces depend on ``q``, never on the
+  worker count).
 * :class:`BayesFT` — the high-level "train me a fault-tolerant network" API
   used by the examples and benchmarks.
 """
@@ -14,9 +18,10 @@
 from .search_space import DropoutSearchSpace
 from .objective import DriftMarginalizedObjective
 from .algorithm import BayesFTSearch, BayesFTResult
+from .scheduler import AsyncTrialScheduler
 from .api import BayesFT
 
 __all__ = [
     "DropoutSearchSpace", "DriftMarginalizedObjective",
-    "BayesFTSearch", "BayesFTResult", "BayesFT",
+    "BayesFTSearch", "BayesFTResult", "AsyncTrialScheduler", "BayesFT",
 ]

@@ -66,6 +66,22 @@ class BayesFT:
     warm_start:
         If True (default) each trial fine-tunes the current weights; if
         False every trial retrains from the initial weights.
+    suggest_batch:
+        ``q``: architectures proposed per round via constant-liar batch
+        suggestion (``1`` keeps the sequential loop, bit-identical to the
+        pre-async implementation).
+    search_workers:
+        ``k``: worker processes evaluating a suggestion batch concurrently.
+        Never changes seeded results — the canonical trace depends only on
+        ``suggest_batch``.
+    search_backend:
+        ``None`` derives ``"process"``/``"serial"`` from ``search_workers``;
+        or a :data:`~repro.execution.search.SEARCH_BACKENDS` name.  Never
+        changes seeded results.
+    early_stop_margin:
+        Async-mode early termination: a trial whose clean (σ=0) utility
+        falls more than this margin below the best committed objective
+        skips the drifted sweep (``None`` disables).
     rng:
         Seed or ``numpy.random.Generator`` shared by training, the search
         and the objective; a fixed seed makes the whole search reproducible.
@@ -79,7 +95,9 @@ class BayesFT:
                  max_dropout_rate: float = 0.9, optimizer_kind: str = "bayes",
                  sweep_workers: int = 0, max_chunk_trials: int | None = None,
                  sweep_backend=None, trial_batch: int | None = None,
-                 warm_start: bool = True, rng=None):
+                 warm_start: bool = True, suggest_batch: int = 1,
+                 search_workers: int = 0, search_backend: str | None = None,
+                 early_stop_margin: float | None = None, rng=None):
         if not 0.0 < validation_fraction < 1.0:
             raise ValueError("validation_fraction must lie in (0, 1)")
         self.sigma = sigma
@@ -99,6 +117,10 @@ class BayesFT:
         self.sweep_backend = sweep_backend
         self.trial_batch = trial_batch
         self.warm_start = warm_start
+        self.suggest_batch = suggest_batch
+        self.search_workers = search_workers
+        self.search_backend = search_backend
+        self.early_stop_margin = early_stop_margin
         self.rng = get_rng(rng)
         self.search_: BayesFTSearch | None = None
         self.result_: BayesFTResult | None = None
@@ -125,6 +147,10 @@ class BayesFT:
             learning_rate=self.learning_rate, momentum=self.momentum,
             weight_optimizer=self.weight_optimizer,
             optimizer_kind=self.optimizer_kind, warm_start=self.warm_start,
+            suggest_batch=self.suggest_batch,
+            search_workers=self.search_workers,
+            search_backend=self.search_backend,
+            early_stop_margin=self.early_stop_margin,
             rng=self.rng)
         self.result_ = self.search_.run(n_trials=self.n_trials)
         return self.result_

@@ -120,6 +120,26 @@ class DriftMarginalizedObjective:
         self.last_report: SweepReport | None = None
 
     # ------------------------------------------------------------------ #
+    def clone(self, rng=None) -> "DriftMarginalizedObjective":
+        """A fresh objective with this configuration, its own RNG and cache.
+
+        The async search scheduler gives every concurrent trial a clone
+        seeded from the trial's own spawned stream: trials running in
+        different worker processes cannot share the in-process
+        ``_shared_cache`` or an RNG, so each trial gets private ones and the
+        evaluation becomes a pure function of ``(model state, trial seed)``
+        — the property that makes seeded async searches bit-identical for
+        any worker count.  Counters start at zero; the scheduler aggregates
+        them back into ``BayesFTResult.objective_stats``.
+        """
+        return DriftMarginalizedObjective(
+            self.dataset, sigma=self.sigma,
+            monte_carlo_samples=self.monte_carlo_samples, metric=self.metric,
+            max_batch=self.max_batch, rng=rng,
+            sweep_workers=self.sweep_workers,
+            max_chunk_trials=self.max_chunk_trials,
+            sweep_backend=self.sweep_backend, trial_batch=self.trial_batch)
+
     def _evaluation_batch(self) -> tuple[np.ndarray, np.ndarray]:
         return self._evaluation_data()[:]
 

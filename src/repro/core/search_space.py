@@ -41,6 +41,7 @@ class DropoutSearchSpace:
             raise ValueError("max_rate must lie in (0, 1)")
         self.model = model
         self.max_rate = float(max_rate)
+        self.include_alpha_dropout = bool(include_alpha_dropout)
         kinds = (Dropout, AlphaDropout) if include_alpha_dropout else (Dropout,)
         self._layers = [(name, module) for name, module in model.named_modules()
                         if isinstance(module, kinds)]

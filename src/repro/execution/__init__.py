@@ -16,9 +16,11 @@ fault trials — and this package decides *where*:
 Because backends receive fully-materialised weights and consume no
 randomness, seeded results are bit-identical across every backend and
 worker count.  :func:`resolve_backend` maps configuration (``None``, a
-registry name, or an instance) to a backend, and :mod:`repro.execution.cells`
-applies the same idea one level up: fanning independent scenario cells over
-a worker pool.
+registry name, or an instance) to a backend, and two sibling modules apply
+the same idea at coarser granularities: :mod:`repro.execution.cells` fans
+independent scenario cells over a worker pool, and
+:mod:`repro.execution.search` fans concurrent search trials (train +
+evaluate units from batched Bayesian optimisation) over a persistent one.
 """
 
 from .base import (
@@ -29,10 +31,11 @@ from .serial import SerialBackend
 from .process import ProcessPoolBackend
 from .shared import SharedMemoryBackend
 from .cells import run_cells
+from .search import SearchTrialPool, SEARCH_BACKENDS
 
 __all__ = [
     "EvalContext", "ExecutionBackend", "TrialResult",
     "available_backends", "register_backend", "resolve_backend",
     "SerialBackend", "ProcessPoolBackend", "SharedMemoryBackend",
-    "run_cells",
+    "run_cells", "SearchTrialPool", "SEARCH_BACKENDS",
 ]

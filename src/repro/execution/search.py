@@ -1,0 +1,167 @@
+"""Search-trial fan-out: evaluate independent search trials over a pool.
+
+The third fan-out granularity of the execution layer, one level above
+:mod:`repro.execution.cells`: *trials within a search*.  A batched
+Bayesian-optimisation step proposes ``q`` architectures at once
+(:meth:`~repro.bayesopt.optimizer.BayesianOptimizer.suggest_batch`); each is
+an independent train-then-evaluate unit of work — a pure function of
+``(architecture, base weights, trial seed)`` — so the batch can be shipped
+to worker processes wholesale.  The pool is *persistent*: one search keeps
+its workers (and their initializer-shipped model/data/objective context)
+alive across every batch, paying the fork-and-ship cost once.
+
+Completion order is explicitly untrusted: :meth:`SearchTrialPool.run_batch`
+drains workers as they finish but files every result under its payload
+index, so the caller always receives results in submission order no matter
+which worker finished first.  The ordered-observation-replay determinism
+contract of :class:`~repro.core.scheduler.AsyncTrialScheduler` is built on
+that guarantee.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from typing import Callable
+
+from .process import _pool_context
+
+__all__ = ["SearchTrialPool", "SEARCH_BACKENDS"]
+
+#: Search fan-out ships one pickled base state per trial plus a tiny payload;
+#: like cell fan-out only the generic pool applies (``shared_memory`` is a
+#: trial-backend concept and still governs each trial's *inner* sweep).
+SEARCH_BACKENDS = ("serial", "process")
+
+#: Per-worker state installed by the pool initializer: the task function and
+#: the search context (model, datasets, objective, training config) shipped
+#: once per worker instead of once per task.
+_SEARCH_WORKER_STATE: dict = {}
+
+#: Result-slot sentinel distinguishing "not run yet" from a task that
+#: legitimately returned ``None``.
+_UNFINISHED = object()
+
+
+class _PoolBroke(Exception):
+    """Internal marker: the *pool* failed, not a trial.
+
+    Same classification rule as :class:`repro.execution.cells._PoolBroke`:
+    only failures of submission/fork/worker transport degrade to in-process
+    execution; a deterministic error raised by a trial's own training or
+    evaluation propagates unchanged (retrying it serially would fail again,
+    after wasted work).
+    """
+
+    def __init__(self, error: BaseException):
+        super().__init__(f"{type(error).__name__}: {error}")
+        self.error = error
+
+
+def _init_search_worker(task_fn: Callable, context: dict) -> None:
+    _SEARCH_WORKER_STATE["task_fn"] = task_fn
+    _SEARCH_WORKER_STATE["context"] = context
+
+
+def _run_search_task(payload: dict):
+    return _SEARCH_WORKER_STATE["task_fn"](_SEARCH_WORKER_STATE["context"], payload)
+
+
+class SearchTrialPool:
+    """Persistent worker pool executing ``task_fn(context, payload)`` tasks.
+
+    Parameters
+    ----------
+    task_fn:
+        Module-level function (it crosses to workers by reference) run once
+        per payload.  Must be self-contained: every task re-derives all of
+        its state from ``context`` and its own payload, never from what a
+        previous task left behind in the worker.
+    context:
+        Shipped to each worker once at pool creation via the initializer.
+    workers:
+        ``0``/``1`` executes in-process; ``n >= 2`` forks ``n`` workers.
+    backend:
+        ``None`` derives ``"process"``/``"serial"`` from ``workers``;
+        otherwise a name from :data:`SEARCH_BACKENDS`.
+
+    Attributes
+    ----------
+    used_backend / tasks_shipped / fell_back:
+        Volatile scheduling accounting (never part of canonical results).
+    """
+
+    def __init__(self, task_fn: Callable, context: dict, workers: int = 0,
+                 backend: str | None = None):
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if backend is None:
+            backend = "process" if workers >= 2 else "serial"
+        if backend not in SEARCH_BACKENDS:
+            raise ValueError(f"unknown search backend {backend!r}; "
+                             f"expected one of {SEARCH_BACKENDS}")
+        if backend == "process" and workers < 2:
+            backend = "serial"
+        self._task_fn = task_fn
+        self._context = context
+        self.workers = int(workers)
+        self.used_backend = backend
+        self.tasks_shipped = 0
+        self.fell_back = False
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_pool_context(),
+                initializer=_init_search_worker,
+                initargs=(self._task_fn, self._context))
+        return self._pool
+
+    def _run_serial(self, payloads: list, results: list) -> list:
+        for index, payload in enumerate(payloads):
+            if results[index] is _UNFINISHED:
+                results[index] = self._task_fn(self._context, payload)
+        return results
+
+    def run_batch(self, payloads: list) -> list:
+        """Execute one batch; results returned in ``payloads`` order.
+
+        Workers are drained as they complete (any order), but each result is
+        filed under its submission index — completion order can never leak
+        into what the caller sees.  Pool breakage degrades the unfinished
+        remainder to in-process execution with a warning, exactly like the
+        trial and cell backends; the pool is not retried afterwards.
+        """
+        results: list = [_UNFINISHED] * len(payloads)
+        if not payloads:
+            return results
+        if self.used_backend == "serial" or self.fell_back or len(payloads) == 1:
+            return self._run_serial(payloads, results)
+        try:
+            try:
+                pool = self._ensure_pool()
+                futures = {pool.submit(_run_search_task, payload): index
+                           for index, payload in enumerate(payloads)}
+            except Exception as error:  # submission/fork-time failure
+                raise _PoolBroke(error) from error
+            self.tasks_shipped += len(futures)
+            for future in as_completed(futures):
+                try:
+                    results[futures[future]] = future.result()
+                except BrokenExecutor as error:
+                    raise _PoolBroke(error) from error
+        except _PoolBroke as broke:
+            warnings.warn(f"search-trial fan-out fell back to serial "
+                          f"execution ({broke})", RuntimeWarning, stacklevel=2)
+            self.fell_back = True
+            self.close()
+            self._run_serial(payloads, results)
+        return results
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None

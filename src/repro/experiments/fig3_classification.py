@@ -134,6 +134,10 @@ def run_classification_comparison(panel: str, config: ExperimentConfig | None = 
                                # short CPU training budget from learning at
                                # all; cap the search range accordingly.
                                max_dropout_rate=float(config.extra.get("max_dropout_rate", 0.5)),
+                               # Async-search scheduling knobs (never part of
+                               # the cell identity; see ScenarioSpec).
+                               suggest_batch=int(config.extra.get("suggest_batch", 1)),
+                               search_workers=int(config.extra.get("search_workers", 0)),
                                rng=rng)
             searcher.fit(model, train_set)
             label = "BayesFT"

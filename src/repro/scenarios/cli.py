@@ -72,6 +72,8 @@ def _cmd_run(args) -> int:
                             max_chunk_trials=args.chunk_trials,
                             backend=args.backend,
                             trial_batch=args.trial_batch,
+                            search_workers=args.search_workers,
+                            suggest_batch=args.suggest_batch,
                             progress=None if args.json else print)
     # Figure scenarios default to the fast config (scenario.default_config);
     # --full runs the harness at its own full-scale default.  Grid cells
@@ -239,6 +241,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan a grid scenario's independent cells over N "
                             "worker processes (resumes through the store; "
                             "never changes results)")
+    p_run.add_argument("--search-workers", type=int, default=None,
+                       dest="search_workers",
+                       help="BO search trials evaluated concurrently over N "
+                            "worker processes (figure scenarios with a "
+                            "BayesFT search; never changes seeded results)")
+    p_run.add_argument("--suggest-batch", type=int, default=None,
+                       dest="suggest_batch",
+                       help="architectures proposed per BO round via "
+                            "constant-liar batch suggestion (1 = the "
+                            "sequential paper loop)")
     p_run.add_argument("--full", action="store_true",
                        help="figure scenarios: run the harness at its "
                             "full-scale default config instead of the fast "

@@ -99,6 +99,14 @@ class ScenarioRunner:
         many trials each stacked forward pass evaluates.  They never change
         results — the engine's determinism contract — and never enter the
         spec hash.
+    search_workers, suggest_batch:
+        Async BO-search scheduling for figure scenarios whose harness runs a
+        BayesFT search (fig3): ``suggest_batch`` architectures proposed per
+        round, evaluated over ``search_workers`` processes.  Injected into
+        the harness config's ``extra`` (and stripped from cell hashes like
+        the other scheduling extras).  ``search_workers`` never changes
+        seeded results; the canonical trace depends only on
+        ``suggest_batch``.
     progress:
         Optional ``callable(str)`` receiving one line per cell (the CLI
         passes ``print``).
@@ -109,12 +117,16 @@ class ScenarioRunner:
                  max_chunk_trials: int | None = None,
                  backend: str | None = None,
                  trial_batch: int | None = None,
+                 search_workers: int | None = None,
+                 suggest_batch: int | None = None,
                  progress: Callable[[str], None] | None = None):
         self.store = store
         self.workers = workers
         self.max_chunk_trials = max_chunk_trials
         self.backend = backend
         self.trial_batch = trial_batch
+        self.search_workers = search_workers
+        self.suggest_batch = suggest_batch
         self.progress = progress
         #: Every cell this runner has resolved, in execution order.
         self.runs: list[ScenarioRun] = []
@@ -229,7 +241,9 @@ class ScenarioRunner:
             runner_kwargs = dict(workers=self.workers,
                                  max_chunk_trials=self.max_chunk_trials,
                                  backend=self.backend,
-                                 trial_batch=self.trial_batch)
+                                 trial_batch=self.trial_batch,
+                                 search_workers=self.search_workers,
+                                 suggest_batch=self.suggest_batch)
             payloads = run_cells(missing, store_root, scenario,
                                  workers=workers, runner_kwargs=runner_kwargs)
             executed = {spec.spec_hash(): payload
@@ -371,5 +385,13 @@ class ScenarioRunner:
                 raise ValueError(
                     f"figure scenario {scenario.name!r} cannot fan out cells: "
                     "its harness threads one RNG through all variants")
+            if self.search_workers is not None or self.suggest_batch is not None:
+                # Harnesses read async-search scheduling from config.extra;
+                # explicit keys already in the config win over overrides.
+                config = config or scenario.default_config()
+                if self.search_workers is not None:
+                    config.extra.setdefault("search_workers", self.search_workers)
+                if self.suggest_batch is not None:
+                    config.extra.setdefault("suggest_batch", self.suggest_batch)
             run_figure_scenario(scenario, self, config=config, seed=seed)
         return self.runs[first:]

@@ -191,10 +191,15 @@ class ScenarioSpec:
     **Identity vs scheduling.**  :meth:`spec_hash` covers every field that
     determines the numbers — model, dataset, fault, per-layer ``policy``,
     grid, trials, seed, metric, training recipe, context — and deliberately
-    excludes ``workers``, ``max_chunk_trials``, ``backend`` and
-    ``trial_batch``: the sweep engine guarantees bit-identical results for
-    any worker count, chunk size, execution backend or trial-batch size, so
-    scheduling knobs must never fragment the result store.
+    excludes ``workers``, ``max_chunk_trials``, ``backend``,
+    ``trial_batch``, ``search_workers`` and ``suggest_batch``: the sweep
+    engine and the async search scheduler guarantee bit-identical results
+    for any worker count, chunk size, execution backend, trial-batch size
+    or search-worker count, so scheduling knobs must never fragment the
+    result store.  (``suggest_batch`` *does* change the BO suggestion
+    sequence, but it is a scheduling choice of a figure-harness run, not
+    part of a declarative cell's identity — harness cells record their
+    lineage in ``context``.)
     """
 
     name: str
@@ -222,8 +227,11 @@ class ScenarioSpec:
     max_chunk_trials: int | None = None
     backend: str | None = None
     trial_batch: int | None = None
+    search_workers: int | None = None
+    suggest_batch: int | None = None
 
-    _SCHEDULING_EXTRAS = ("sweep_workers", "sweep_chunk_trials")
+    _SCHEDULING_EXTRAS = ("sweep_workers", "sweep_chunk_trials",
+                          "search_workers", "suggest_batch")
 
     def __post_init__(self):
         if isinstance(self.fault, (dict, str)):
@@ -272,6 +280,8 @@ class ScenarioSpec:
             "max_chunk_trials": self.max_chunk_trials,
             "backend": self.backend,
             "trial_batch": self.trial_batch,
+            "search_workers": self.search_workers,
+            "suggest_batch": self.suggest_batch,
         }
 
     @classmethod
@@ -300,6 +310,8 @@ class ScenarioSpec:
         data.pop("max_chunk_trials")
         data.pop("backend")
         data.pop("trial_batch")
+        data.pop("search_workers")
+        data.pop("suggest_batch")
         data["train"]["extra"] = {
             key: value for key, value in data["train"]["extra"].items()
             if key not in self._SCHEDULING_EXTRAS}

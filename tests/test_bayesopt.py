@@ -246,6 +246,28 @@ class TestNaNObjectives:
         assert len(trace) == 6
         assert all(-10.0 <= p[0] <= 10.0 for p in trace.points)
 
+    def test_suggest_batch_tolerates_nan_history(self):
+        """Constant-liar fantasies use the *finite* trace only; a batch
+        suggested on top of NaN-polluted history stays in bounds."""
+        optimizer = BayesianOptimizer([(0.0, 1.0)], n_initial=2, rng=2)
+        for value in [0.3, float("nan"), 0.7, float("nan")]:
+            optimizer.observe(optimizer.suggest(), value)
+        batch = optimizer.suggest_batch(3)
+        assert len(batch) == 3
+        for point in batch:
+            assert np.all(np.isfinite(point))
+            assert 0.0 <= point[0] <= 1.0
+
+    def test_suggest_batch_on_all_nan_history_stays_random(self):
+        optimizer = BayesianOptimizer([(0.0, 1.0)], n_initial=2, rng=3)
+        for _ in range(4):
+            optimizer.observe(optimizer.suggest(), float("nan"))
+        batch = optimizer.suggest_batch(2)  # no finite value to lie with
+        assert all(0.0 <= point[0] <= 1.0 for point in batch)
+        for point in batch:
+            optimizer.observe(point, float("nan"))
+        assert optimizer.pending_points == []
+
 
 class TestRandomAndGridSearch:
     def test_random_search_respects_bounds(self):

@@ -110,6 +110,26 @@ class TestScenarioSpec:
             train=ExperimentConfig(epochs=1, train_samples=64,
                                    test_samples=32)).spec_hash()
 
+    def test_hash_ignores_search_scheduling_knobs(self):
+        """The async-search knobs name how a run was scheduled, not what
+        cell it computed — same contract as sweep_workers."""
+        base = tiny_spec()
+        assert tiny_spec(search_workers=4).spec_hash() == base.spec_hash()
+        assert tiny_spec(suggest_batch=2).spec_hash() == base.spec_hash()
+        config = ExperimentConfig(
+            epochs=1, train_samples=64, test_samples=32,
+            extra={"search_workers": 4, "suggest_batch": 2})
+        assert tiny_spec(train=config).spec_hash() == tiny_spec(
+            train=ExperimentConfig(epochs=1, train_samples=64,
+                                   test_samples=32)).spec_hash()
+
+    def test_search_knobs_round_trip_in_dict_form(self):
+        spec = tiny_spec(search_workers=2, suggest_batch=3)
+        restored = ScenarioSpec.from_dict(spec.to_dict())
+        assert restored.search_workers == 2
+        assert restored.suggest_batch == 3
+        assert restored.spec_hash() == tiny_spec().spec_hash()
+
     def test_hash_covers_result_determining_fields(self):
         base = tiny_spec()
         assert tiny_spec(seed=4).spec_hash() != base.spec_hash()
