@@ -17,13 +17,15 @@ substrate:
   per-figure harnesses;
 * :mod:`repro.execution` — pluggable execution backends (serial, process
   pool, shared-memory weight shipping) and scenario-cell fan-out;
+* :mod:`repro.telemetry` — unified tracing, metrics and progress across all
+  of the above (spans, counters, JSONL export, ``trace summarize``);
 * :mod:`repro.scenarios` — declarative experiment cells, the fault-model and
   scenario registries, the on-disk result store and the ``python -m repro``
   CLI.
 """
 
 from . import nn, models, fault, reram, bayesopt, core, baselines, data, evaluation
-from . import execution, training, experiments, scenarios, utils
+from . import execution, telemetry, training, experiments, scenarios, utils
 from .core import BayesFT
 from .utils.config import ExperimentConfig
 from .utils.rng import seed_everything
@@ -32,7 +34,8 @@ __version__ = "1.1.0"
 
 __all__ = [
     "nn", "models", "fault", "reram", "bayesopt", "core", "baselines", "data",
-    "evaluation", "execution", "training", "experiments", "scenarios", "utils",
+    "evaluation", "execution", "telemetry", "training", "experiments",
+    "scenarios", "utils",
     "BayesFT", "ExperimentConfig", "seed_everything",
     "__version__",
 ]

@@ -34,6 +34,7 @@ from ..bayesopt.random_search import RandomSearchOptimizer
 from ..data.loader import Dataset
 from ..execution.search import SearchTrialPool
 from ..nn.module import Module
+from ..telemetry import current
 from ..training.trainer import Trainer
 from ..utils.rng import get_rng
 from .objective import DriftMarginalizedObjective
@@ -238,20 +239,27 @@ class BayesFTSearch:
         trial_objectives: list[float] = []
         clean_objectives: list[float] = []
 
-        for _ in range(n_trials):
-            alpha = np.asarray(self.optimizer.suggest(), dtype=np.float64)
-            self.search_space.apply(alpha)
-            if not self.warm_start:
-                self.model.load_state_dict(initial_state)
-            self._train_weights()
-            # One engine run measures the drifted utility (Eq. 4) and the
-            # clean diagnostic together; the inference cache collapses the
-            # σ=0 trials to a single model evaluation.
-            if hasattr(self.objective, "evaluate_with_clean"):
-                value, clean_value, _ = self.objective.evaluate_with_clean(self.model)
-            else:  # custom objective without the engine-backed fast path
-                value = self.objective.evaluate(self.model)
-                clean_value = self.objective.evaluate_clean(self.model)
+        telemetry = current()
+        for index in range(n_trials):
+            with telemetry.span("bo_trial", index=index):
+                with telemetry.span("suggest"):
+                    alpha = np.asarray(self.optimizer.suggest(),
+                                       dtype=np.float64)
+                self.search_space.apply(alpha)
+                if not self.warm_start:
+                    self.model.load_state_dict(initial_state)
+                with telemetry.span("train", epochs=self.epochs_per_trial):
+                    self._train_weights()
+                # One engine run measures the drifted utility (Eq. 4) and
+                # the clean diagnostic together; the inference cache
+                # collapses the σ=0 trials to a single model evaluation.
+                with telemetry.span("evaluate"):
+                    if hasattr(self.objective, "evaluate_with_clean"):
+                        value, clean_value, _ = \
+                            self.objective.evaluate_with_clean(self.model)
+                    else:  # custom objective without the engine fast path
+                        value = self.objective.evaluate(self.model)
+                        clean_value = self.objective.evaluate_clean(self.model)
             clean_objectives.append(clean_value)
             self.optimizer.observe(alpha, value)
             trial_alphas.append(alpha.copy())
@@ -310,10 +318,17 @@ class BayesFTSearch:
             "include_alpha_dropout": getattr(
                 self.search_space, "include_alpha_dropout", True),
             "early_stop_margin": self.early_stop_margin,
+            # Plain flag, not a tracer: workers build their own session and
+            # ship span/counter snapshots back with each trial result.
+            "trace": current().enabled,
         }
         pool = SearchTrialPool(_execute_search_trial, context,
                                workers=self.search_workers,
                                backend=self.search_backend)
+        # Worker-side sweeps report their own (serial) worker counts; the
+        # search pool's width is the figure that makes worker utilisation
+        # in `trace summarize` honest.
+        current().gauge("workers", pool.workers)
         best_alpha: np.ndarray | None = None
         best_objective = -np.inf
         best_state: dict | None = None
@@ -367,6 +382,7 @@ class BayesFTSearch:
                           "workers": pool.workers,
                           "tasks_shipped": pool.tasks_shipped,
                           "fell_back": pool.fell_back,
+                          "fallback_reason": pool.fallback_reason,
                           "suggest_batch": self.suggest_batch,
                           "batches": scheduler.batches_run,
                           "terminated_trials": int(sum(trial_terminated))})

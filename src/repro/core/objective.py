@@ -31,6 +31,7 @@ from ..data.loader import Dataset
 from ..evaluation.sweep import DriftSweepEngine, SweepReport
 from ..inference import AccuracyAndLoss
 from ..nn.module import Module
+from ..telemetry import MetricsRegistry
 from ..utils.rng import get_rng
 
 __all__ = ["DriftMarginalizedObjective"]
@@ -88,7 +89,9 @@ class DriftMarginalizedObjective:
     evaluations_total / cache_hits_total:
         Running counters over every engine run this objective has issued —
         ``cache_hits_total`` is the number of model evaluations the
-        inference cache saved the Bayesian-optimisation loop.
+        inference cache saved the Bayesian-optimisation loop.  Both are
+        read-only views over the objective's
+        :class:`~repro.telemetry.MetricsRegistry` (``self.metrics``).
     """
 
     def __init__(self, dataset: Dataset, sigma: float = 0.6,
@@ -115,9 +118,16 @@ class DriftMarginalizedObjective:
         # Digest -> (accuracy, loss), persisted across evaluate() calls so
         # repeated weight states across BO trials are never re-evaluated.
         self._shared_cache: dict = {}
-        self.evaluations_total = 0
-        self.cache_hits_total = 0
+        self.metrics = MetricsRegistry()
         self.last_report: SweepReport | None = None
+
+    @property
+    def evaluations_total(self) -> int:
+        return self.metrics.value("evaluations_total")
+
+    @property
+    def cache_hits_total(self) -> int:
+        return self.metrics.value("cache_hits_total")
 
     # ------------------------------------------------------------------ #
     def clone(self, rng=None) -> "DriftMarginalizedObjective":
@@ -169,8 +179,8 @@ class DriftMarginalizedObjective:
         return -float(np.mean(report.trial_losses[row]))
 
     def _record(self, report: SweepReport) -> None:
-        self.evaluations_total += report.n_evaluations
-        self.cache_hits_total += report.cache_hits
+        self.metrics.counter("evaluations_total").add(report.n_evaluations)
+        self.metrics.counter("cache_hits_total").add(report.cache_hits)
         self.last_report = report
 
     # ------------------------------------------------------------------ #

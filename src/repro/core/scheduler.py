@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import Telemetry, current, using
 from ..training.trainer import Trainer
 from .search_space import DropoutSearchSpace
 
@@ -64,7 +65,25 @@ def _execute_search_trial(context: dict, payload: dict) -> dict:
     result is a pure function of the context plus this payload.  The three
     spawned sub-streams (module reseed / SGD shuffling / objective) make the
     trial reproducible bit-for-bit wherever it runs.
+
+    When the parent session is tracing (``context["trace"]``), the trial
+    captures its own span tree — train / evaluate, with the objective's
+    whole sweep hierarchy nested below — and ships the snapshot back inside
+    the result dict; the scheduler grafts it under the batch's span.  The
+    flag carries no entropy and the snapshot rides outside every canonical
+    field, so traced and untraced trials commit identical observations.
     """
+    if not context.get("trace"):
+        return _search_trial_body(context, payload)
+    telemetry = Telemetry()
+    with using(telemetry):
+        with telemetry.span("search_trial", index=payload["index"]):
+            result = _search_trial_body(context, payload)
+    result["telemetry"] = telemetry.snapshot()
+    return result
+
+
+def _search_trial_body(context: dict, payload: dict) -> dict:
     model = context["model"]
     space = context.get("_space")
     if space is None:
@@ -83,21 +102,27 @@ def _execute_search_trial(context: dict, payload: dict) -> dict:
                       momentum=context["momentum"],
                       optimizer=context["weight_optimizer"],
                       rng=np.random.default_rng(train_seq))
-    trainer.fit(context["train_dataset"], epochs=context["epochs_per_trial"],
-                batch_size=context["batch_size"])
+    telemetry = current()
+    with telemetry.span("train", epochs=context["epochs_per_trial"]):
+        trainer.fit(context["train_dataset"],
+                    epochs=context["epochs_per_trial"],
+                    batch_size=context["batch_size"])
 
     objective = context["objective"].clone(rng=np.random.default_rng(eval_seq))
     baseline = payload.get("baseline")
     margin = context.get("early_stop_margin")
     if baseline is not None and margin is not None:
-        clean = float(objective.evaluate_clean(model))
+        with telemetry.span("evaluate", clean_only=True):
+            clean = float(objective.evaluate_clean(model))
         # NaN-safe comparison: a diverged trial (NaN clean utility) is
         # dominated too and must terminate rather than run the full sweep.
         if not clean >= baseline - margin:
+            telemetry.add("terminated_trials")
             return {"index": payload["index"], "value": clean, "clean": clean,
                     "terminated": True, "state": None,
                     "stats": {"evaluations": 0, "cache_hits": 0}}
-    value, clean, _ = objective.evaluate_with_clean(model)
+    with telemetry.span("evaluate"):
+        value, clean, _ = objective.evaluate_with_clean(model)
     return {"index": payload["index"], "value": float(value),
             "clean": float(clean), "terminated": False,
             "state": model.state_dict(),
@@ -140,20 +165,26 @@ class AsyncTrialScheduler:
         strictly in trial-index order after the matching observation has
         been replayed into the optimiser.
         """
+        telemetry = current()
         completed = 0
         while completed < n_trials:
             q = min(self.suggest_batch, n_trials - completed)
-            alphas = [np.asarray(alpha, dtype=np.float64)
-                      for alpha in self.optimizer.suggest_batch(q)]
-            payloads = [build_payload(completed + slot, alphas[slot])
-                        for slot in range(q)]
-            results = self.pool.run_batch(payloads)
-            # Ordered observation replay: workers may finish in any order
-            # (and a pool may even return them shuffled); the trace is built
-            # from trial indices alone.
-            for result in sorted(results, key=lambda r: r["index"]):
-                slot = result["index"] - completed
-                self.optimizer.observe(alphas[slot], result["value"])
-                commit(alphas[slot], result)
+            with telemetry.span("bo_batch", batch=self.batches_run,
+                                q=q) as batch_span:
+                with telemetry.span("suggest_batch", q=q):
+                    alphas = [np.asarray(alpha, dtype=np.float64)
+                              for alpha in self.optimizer.suggest_batch(q)]
+                payloads = [build_payload(completed + slot, alphas[slot])
+                            for slot in range(q)]
+                results = self.pool.run_batch(payloads)
+                # Ordered observation replay: workers may finish in any
+                # order (and a pool may even return them shuffled); the
+                # trace is built from trial indices alone.
+                for result in sorted(results, key=lambda r: r["index"]):
+                    telemetry.absorb(result.pop("telemetry", None),
+                                     under=batch_span)
+                    slot = result["index"] - completed
+                    self.optimizer.observe(alphas[slot], result["value"])
+                    commit(alphas[slot], result)
             completed += q
             self.batches_run += 1

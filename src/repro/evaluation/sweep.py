@@ -59,6 +59,7 @@ from ..fault.drift import DriftModel, LogNormalDrift
 from ..inference import ClassificationAccuracy, resolve_evaluator
 from ..fault.injector import FaultInjector
 from ..fault.policy import LayerFaultPolicy
+from ..telemetry import MetricsRegistry, current
 from ..utils.rng import get_rng
 from .robustness import RobustnessCurve, accuracy
 
@@ -313,9 +314,16 @@ class DriftSweepEngine:
 
         ``report.curve()`` gives the plot-ready :class:`RobustnessCurve`.
         """
-        start = time.perf_counter()
-        sigmas = [float(sigma) for sigma in sigmas]
         label = label or type(self.model).__name__
+        telemetry = current()
+        with telemetry.span("sweep", label=label, grid=len(sigmas),
+                            trials=self.trials) as sweep_span:
+            return self._run([float(sigma) for sigma in sigmas], label,
+                             telemetry, sweep_span)
+
+    def _run(self, sigmas: list[float], label: str, telemetry,
+             sweep_span) -> SweepReport:
+        start = time.perf_counter()
         injector = FaultInjector(self.model, LogNormalDrift(0.0),
                                  skip=self.skip, rng=self.rng)
 
@@ -324,14 +332,19 @@ class DriftSweepEngine:
         scores: dict[str, float] = {}
         losses: dict[str, float | None] = {}
         eval_seconds: dict[str, float] = {}
-        cache_hits = 0
-        n_evaluations = 0
-        batched_evaluations = 0
+        # The sweep's own accounting lives in a per-run MetricsRegistry —
+        # the one counter implementation — and the report fields below are
+        # views of its final values.
+        metrics = MetricsRegistry()
+        cache_hits = metrics.counter("cache_hits")
+        n_evaluations = metrics.counter("n_evaluations")
+        batched_evaluations = metrics.counter("batched_evaluations")
         fallback_reason = ""
         backend = resolve_backend(self.backend, workers=self.workers)
         backend.open(EvalContext(model=self.model, data=self.data,
                                  evaluate_fn=self.evaluate_fn,
-                                 evaluator=self.evaluator))
+                                 evaluator=self.evaluator,
+                                 trace=telemetry.enabled))
         backend_broken = False
         if self.shared_cache:
             for digest, (score, loss) in self.shared_cache.items():
@@ -341,89 +354,13 @@ class DriftSweepEngine:
         try:
             with injector.multi_trial():
                 for sigma_index, sigma in enumerate(sigmas):
-                    # 1. Pre-draw this σ's trials in memory-bounded chunks:
-                    #    one vectorized RNG call per (parameter, chunk), all
-                    #    in the main process.  Consuming the streams here,
-                    #    before any evaluation is scheduled, is what makes
-                    #    the sweep deterministic for any worker count, and
-                    #    the per-parameter streams make it deterministic for
-                    #    any chunk size.
-                    drift = self._drift_for(sigma)
-                    # A drift with no randomness (σ=0) produces `trials`
-                    # bit-identical copies; draw/hash/evaluate it once and
-                    # map every trial onto that digest — the cache would
-                    # have collapsed them anyway, this skips the redundant
-                    # drawing and hashing too.
-                    collapse = (self.cache and isinstance(drift, DriftModel)
-                                and drift.is_deterministic())
-                    draw_count = 1 if collapse else self.trials
-                    plan = injector.plan_trials(draw_count, drift,
-                                                max_chunk=self.max_chunk_trials)
-                    trial_index = 0
-                    for count, chunk in plan:
-                        # 2. Deduplicate against everything evaluated so far
-                        #    (the inference cache, including shared entries).
-                        pending: dict[str, dict] = {}
-                        for offset in range(count):
-                            key = (sigma_index, trial_index + offset)
-                            params = {name: arrays[offset]
-                                      for name, arrays in chunk.items()}
-                            digest = (_weights_digest(params) if self.cache
-                                      else f"trial-{key[0]}-{key[1]}")
-                            digest_of[key] = digest
-                            if digest in scores or digest in pending:
-                                cache_hits += 1
-                            else:
-                                pending[digest] = params
-                                first_key[digest] = key
-                        if not pending:
-                            trial_index += count
-                            continue
-
-                        # 3. Evaluate this chunk's unique weight sets through
-                        #    the execution backend.  In-process evaluation
-                        #    errors propagate; an out-of-process backend that
-                        #    breaks (pool setup, pickling, a dead worker)
-                        #    degrades the rest of the sweep to serial.
-                        if not backend_broken:
-                            try:
-                                for result in backend.run_trials(
-                                        pending, injector.apply_trial):
-                                    scores[result.digest] = result.score
-                                    losses[result.digest] = result.loss
-                                    eval_seconds[result.digest] = result.seconds
-                                    n_evaluations += 1
-                                    batched_evaluations += int(result.batched)
-                            except Exception as error:
-                                if not backend.out_of_process:
-                                    raise
-                                backend_broken = True
-                                fallback_reason = f"{type(error).__name__}: {error}"
-                                warnings.warn(
-                                    f"parallel sweep fell back to serial "
-                                    f"evaluation ({fallback_reason})",
-                                    RuntimeWarning, stacklevel=2)
-                        # Serial completion of anything the backend did not
-                        # answer (everything, once it is broken), through
-                        # the same evaluator the backend's workers run.
-                        leftovers = {digest: params
-                                     for digest, params in pending.items()
-                                     if digest not in scores}
-                        if leftovers:
-                            for result in self.evaluator.run(
-                                    self.model, self.data, self.evaluate_fn,
-                                    leftovers, injector.apply_trial):
-                                scores[result.digest] = result.score
-                                losses[result.digest] = result.loss
-                                eval_seconds[result.digest] = result.seconds
-                                n_evaluations += 1
-                                batched_evaluations += int(result.batched)
-                        trial_index += count
-                    if collapse:
-                        digest = digest_of[(sigma_index, 0)]
-                        for extra in range(1, self.trials):
-                            digest_of[(sigma_index, extra)] = digest
-                            cache_hits += 1
+                    with telemetry.span("sigma", sigma=sigma):
+                        backend_broken, fallback_reason = self._run_sigma(
+                            sigma_index, sigma, injector, backend,
+                            backend_broken, fallback_reason, telemetry,
+                            digest_of, first_key, scores, losses,
+                            eval_seconds, cache_hits, n_evaluations,
+                            batched_evaluations)
         finally:
             backend.close()
 
@@ -437,13 +374,25 @@ class DriftSweepEngine:
                              workers=backend.workers_used,
                              backend=backend.used_backend,
                              fallback_reason=fallback_reason,
-                             n_evaluations=n_evaluations, cache_hits=cache_hits,
+                             n_evaluations=n_evaluations.value,
+                             cache_hits=cache_hits.value,
                              max_chunk_trials=self.max_chunk_trials,
                              peak_resident_trials=injector.peak_resident_trials,
                              tasks_shipped=backend.tasks_shipped,
                              bytes_shipped=backend.bytes_shipped,
                              trial_batch=self.trial_batch,
-                             batched_evaluations=batched_evaluations)
+                             batched_evaluations=batched_evaluations.value)
+        # Roll the run's counters into the ambient session (no-op when
+        # telemetry is off) so `trace summarize` sees system-wide totals.
+        telemetry.add("evaluations_total", n_evaluations.value)
+        telemetry.add("cache_hits_total", cache_hits.value)
+        telemetry.add("batched_evaluations", batched_evaluations.value)
+        telemetry.add("tasks_shipped", backend.tasks_shipped)
+        telemetry.add("bytes_shipped", backend.bytes_shipped)
+        telemetry.gauge("workers", backend.workers_used)
+        sweep_span.set(backend=backend.used_backend,
+                       n_evaluations=n_evaluations.value,
+                       cache_hits=cache_hits.value)
         for sigma_index, sigma in enumerate(sigmas):
             per_trial = [scores[digest_of[(sigma_index, trial_index)]]
                          for trial_index in range(self.trials)]
@@ -463,3 +412,95 @@ class DriftSweepEngine:
                 report.trial_losses.append(per_loss)
         report.elapsed_seconds = round(time.perf_counter() - start, 6)
         return report
+
+    def _run_sigma(self, sigma_index: int, sigma: float, injector, backend,
+                   backend_broken: bool, fallback_reason: str, telemetry,
+                   digest_of, first_key, scores, losses, eval_seconds,
+                   cache_hits, n_evaluations, batched_evaluations
+                   ) -> tuple[bool, str]:
+        """Measure one σ grid point; returns updated backend health."""
+        # 1. Pre-draw this σ's trials in memory-bounded chunks: one
+        #    vectorized RNG call per (parameter, chunk), all in the main
+        #    process.  Consuming the streams here, before any evaluation is
+        #    scheduled, is what makes the sweep deterministic for any worker
+        #    count, and the per-parameter streams make it deterministic for
+        #    any chunk size.
+        drift = self._drift_for(sigma)
+        # A drift with no randomness (σ=0) produces `trials` bit-identical
+        # copies; draw/hash/evaluate it once and map every trial onto that
+        # digest — the cache would have collapsed them anyway, this skips
+        # the redundant drawing and hashing too.
+        collapse = (self.cache and isinstance(drift, DriftModel)
+                    and drift.is_deterministic())
+        draw_count = 1 if collapse else self.trials
+        plan = injector.plan_trials(draw_count, drift,
+                                    max_chunk=self.max_chunk_trials)
+        trial_index = 0
+        for count, chunk in plan:
+            with telemetry.span("chunk", trials=count) as chunk_span:
+                # 2. Deduplicate against everything evaluated so far (the
+                #    inference cache, including shared entries).
+                pending: dict[str, dict] = {}
+                for offset in range(count):
+                    key = (sigma_index, trial_index + offset)
+                    params = {name: arrays[offset]
+                              for name, arrays in chunk.items()}
+                    digest = (_weights_digest(params) if self.cache
+                              else f"trial-{key[0]}-{key[1]}")
+                    digest_of[key] = digest
+                    if digest in scores or digest in pending:
+                        cache_hits.add()
+                    else:
+                        pending[digest] = params
+                        first_key[digest] = key
+                if not pending:
+                    trial_index += count
+                    continue
+                chunk_span.set(unique=len(pending))
+
+                # 3. Evaluate this chunk's unique weight sets through the
+                #    execution backend.  In-process evaluation errors
+                #    propagate; an out-of-process backend that breaks (pool
+                #    setup, pickling, a dead worker) degrades the rest of
+                #    the sweep to serial.
+                if not backend_broken:
+                    try:
+                        for result in backend.run_trials(
+                                pending, injector.apply_trial):
+                            scores[result.digest] = result.score
+                            losses[result.digest] = result.loss
+                            eval_seconds[result.digest] = result.seconds
+                            n_evaluations.add()
+                            batched_evaluations.add(int(result.batched))
+                    except Exception as error:
+                        if not backend.out_of_process:
+                            raise
+                        backend_broken = True
+                        fallback_reason = f"{type(error).__name__}: {error}"
+                        telemetry.add("sweep_serial_fallbacks")
+                        warnings.warn(
+                            f"parallel sweep fell back to serial "
+                            f"evaluation ({fallback_reason})",
+                            RuntimeWarning, stacklevel=2)
+                # Serial completion of anything the backend did not answer
+                # (everything, once it is broken), through the same
+                # evaluator the backend's workers run.
+                leftovers = {digest: params
+                             for digest, params in pending.items()
+                             if digest not in scores}
+                if leftovers:
+                    for result in self.evaluator.run(
+                            self.model, self.data, self.evaluate_fn,
+                            leftovers, injector.apply_trial):
+                        scores[result.digest] = result.score
+                        losses[result.digest] = result.loss
+                        eval_seconds[result.digest] = result.seconds
+                        n_evaluations.add()
+                        batched_evaluations.add(int(result.batched))
+                trial_index += count
+        if collapse:
+            digest = digest_of[(sigma_index, 0)]
+            for extra in range(1, self.trials):
+                digest_of[(sigma_index, extra)] = digest
+                cache_hits.add()
+        return backend_broken, fallback_reason

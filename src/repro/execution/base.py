@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..telemetry import MetricsRegistry
+
 __all__ = [
     "EvalContext", "TrialResult", "ExecutionBackend",
     "register_backend", "available_backends", "resolve_backend",
@@ -59,12 +61,20 @@ class EvalContext:
     driving the model calls (``None`` means per-trial).  Backends read its
     ``trial_batch`` to group trials into worker tasks and ship the
     evaluator itself to workers, so batching happens worker-side.
+
+    ``trace`` is the one bit of telemetry state that crosses the process
+    boundary: the engine sets it from ``telemetry.current().enabled`` so
+    workers know whether to capture local spans and ship a snapshot back
+    with their results.  It is a plain flag — the parent's tracer object
+    never travels — and it carries no entropy, so it cannot perturb the
+    determinism contract.
     """
 
     model: object
     data: object
     evaluate_fn: Callable
     evaluator: object | None = None
+    trace: bool = False
 
 
 @dataclass
@@ -108,6 +118,10 @@ class ExecutionBackend:
         Tasks sent to worker processes and the payload bytes they carried
         (array bytes for pickled tasks, the pickled offset-table message
         for shared-memory tasks).  In-process evaluation ships nothing.
+        Both are read-only views over the backend's
+        :class:`~repro.telemetry.MetricsRegistry` — increment sites go
+        through ``self.metrics`` so the shipping stats share the one
+        counter implementation with every other layer.
     """
 
     name = "abstract"
@@ -117,8 +131,15 @@ class ExecutionBackend:
         self.context: EvalContext | None = None
         self.used_backend = "serial"
         self.workers_used = 1
-        self.tasks_shipped = 0
-        self.bytes_shipped = 0
+        self.metrics = MetricsRegistry()
+
+    @property
+    def tasks_shipped(self) -> int:
+        return self.metrics.value("tasks_shipped")
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self.metrics.value("bytes_shipped")
 
     # ------------------------------------------------------------------ #
     def open(self, context: EvalContext) -> None:
@@ -126,8 +147,7 @@ class ExecutionBackend:
         self.context = context
         self.used_backend = "serial"
         self.workers_used = 1
-        self.tasks_shipped = 0
-        self.bytes_shipped = 0
+        self.metrics.reset()
 
     def run_trials(self, pending: dict[str, dict],
                    apply_trial: Callable[[dict], None]) -> list[TrialResult]:

@@ -18,8 +18,9 @@ behind one execution layer.
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 
+from ..telemetry import Telemetry, current, using
 from .process import _pool_context
 
 __all__ = ["run_cells", "CELL_BACKENDS"]
@@ -51,7 +52,8 @@ class _PoolBroke(Exception):
 
 
 def _execute_cell(spec_payload: dict, store_root: str | None,
-                  scenario: str | None, runner_kwargs: dict) -> dict:
+                  scenario: str | None, runner_kwargs: dict,
+                  trace: bool = False) -> dict:
     """Worker task: execute one declarative cell, persist it, return it.
 
     Runs in a child process, so everything crosses as plain data.  The cell
@@ -59,7 +61,10 @@ def _execute_cell(spec_payload: dict, store_root: str | None,
     parent — same registries, same seeding, same store writes, same
     scheduling overrides (``runner_kwargs`` carries the parent runner's
     ``workers``/``max_chunk_trials``/``backend``) — which is what keeps
-    fanned-out matrices bit-identical to serial ones.
+    fanned-out matrices bit-identical to serial ones.  When the parent
+    session is tracing, the worker captures its own span tree (the same
+    protocol as the trial backends) and ships the snapshot back with the
+    cell result.
     """
     from ..scenarios.runner import ScenarioRunner
     from ..scenarios.spec import ScenarioSpec
@@ -68,13 +73,24 @@ def _execute_cell(spec_payload: dict, store_root: str | None,
     spec = ScenarioSpec.from_dict(spec_payload)
     store = None if store_root is None else ResultStore(store_root)
     runner = ScenarioRunner(store, **runner_kwargs)
-    run = runner.run(spec, scenario=scenario)
-    return {"report": run.report.as_dict(), "cached": run.cached,
-            "elapsed_seconds": run.elapsed_seconds}
+
+    def execute() -> dict:
+        run = runner.run(spec, scenario=scenario)
+        return {"report": run.report.as_dict(), "cached": run.cached,
+                "elapsed_seconds": run.elapsed_seconds, "telemetry": None}
+
+    if not trace:
+        return execute()
+    telemetry = Telemetry()
+    with using(telemetry):
+        payload = execute()
+    payload["telemetry"] = telemetry.snapshot()
+    return payload
 
 
 def run_cells(specs, store_root: str | None, scenario: str | None,
-              workers: int, runner_kwargs: dict | None = None) -> list[dict]:
+              workers: int, runner_kwargs: dict | None = None,
+              progress=None) -> tuple[list[dict], str | None]:
     """Execute cells over ``workers`` processes; results in ``specs`` order.
 
     A *pool* failure (fork limits, pickling, a dead worker) degrades the
@@ -82,35 +98,67 @@ def run_cells(specs, store_root: str | None, scenario: str | None,
     contract as the trial backends — so a matrix run always completes.  An
     error raised by a cell itself is deterministic and propagates unchanged
     (re-running it serially would only fail again, after wasted work).
+
+    Returns ``(results, fallback_reason)``: the second element is ``None``
+    for a healthy run and the breakage description when the pool degraded —
+    callers surface it in run summaries so degraded matrices are detectable
+    after the warning has scrolled away.  ``progress``, when given, is
+    called once per finished cell (in completion order) with its result
+    dict — the hook behind ``--progress`` ETA lines.
     """
     payloads = [spec.to_dict() for spec in specs]
     runner_kwargs = dict(runner_kwargs or {})
+    telemetry = current()
+    trace = telemetry.enabled
     results: list[dict | None] = [None] * len(specs)
-    try:
+    fallback_reason: str | None = None
+    with telemetry.span("cell_fanout", cells=len(specs),
+                        workers=workers) as span:
+        # Worker-side sweeps report their own (serial) worker counts; the
+        # fan-out's pool width is the figure that makes utilisation honest.
+        telemetry.gauge("workers", min(workers, len(specs)))
         try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(specs)),
-                                     mp_context=_pool_context()) as pool:
-                try:
-                    futures = {pool.submit(_execute_cell, payload, store_root,
-                                           scenario, runner_kwargs):
-                               index for index, payload in enumerate(payloads)}
-                except Exception as error:  # submission/fork-time failure
-                    raise _PoolBroke(error) from error
-                for future, index in futures.items():
+            try:
+                with ProcessPoolExecutor(max_workers=min(workers, len(specs)),
+                                         mp_context=_pool_context()) as pool:
                     try:
-                        results[index] = future.result()
-                    except BrokenExecutor as error:
+                        futures = {pool.submit(_execute_cell, payload,
+                                               store_root, scenario,
+                                               runner_kwargs, trace):
+                                   index
+                                   for index, payload in enumerate(payloads)}
+                    except Exception as error:  # submission/fork-time failure
                         raise _PoolBroke(error) from error
-        except _PoolBroke:
-            raise
-        except BrokenExecutor as error:
-            # The pool can also break while its context manager shuts down.
-            raise _PoolBroke(error) from error
-    except _PoolBroke as broke:
-        warnings.warn(f"cell fan-out fell back to serial execution "
-                      f"({broke})", RuntimeWarning, stacklevel=2)
-        for index, payload in enumerate(payloads):
-            if results[index] is None:
-                results[index] = _execute_cell(payload, store_root, scenario,
-                                               runner_kwargs)
-    return results
+                    for future in as_completed(futures):
+                        try:
+                            result = future.result()
+                        except BrokenExecutor as error:
+                            raise _PoolBroke(error) from error
+                        results[futures[future]] = result
+                        telemetry.absorb(result.pop("telemetry", None),
+                                         under=span)
+                        if progress is not None:
+                            progress(result)
+            except _PoolBroke:
+                raise
+            except BrokenExecutor as error:
+                # The pool can also break while its context manager shuts
+                # down.
+                raise _PoolBroke(error) from error
+        except _PoolBroke as broke:
+            warnings.warn(f"cell fan-out fell back to serial execution "
+                          f"({broke})", RuntimeWarning, stacklevel=2)
+            fallback_reason = str(broke)
+            telemetry.add("cell_pool_fallbacks")
+            for index, payload in enumerate(payloads):
+                if results[index] is None:
+                    # In-process retry: the ambient session is this one, so
+                    # the cell's spans land directly without the worker
+                    # snapshot protocol.
+                    result = _execute_cell(payload, store_root, scenario,
+                                           runner_kwargs)
+                    result.pop("telemetry", None)
+                    results[index] = result
+                    if progress is not None:
+                        progress(result)
+    return results, fallback_reason

@@ -16,6 +16,7 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable
 
+from ..telemetry import Telemetry, current, using
 from .base import ExecutionBackend, TrialResult, register_backend
 
 __all__ = ["ProcessPoolBackend"]
@@ -27,7 +28,8 @@ __all__ = ["ProcessPoolBackend"]
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(model, data, evaluate_fn, evaluator=None) -> None:
+def _init_worker(model, data, evaluate_fn, evaluator=None,
+                 trace: bool = False) -> None:
     # The model arrives clean (the pool is created before any trial is
     # applied), so the worker-local injector snapshots the same clean state
     # as the main process and apply_trial enforces the identical restore
@@ -45,16 +47,31 @@ def _init_worker(model, data, evaluate_fn, evaluator=None) -> None:
     _WORKER_STATE["data"] = data
     _WORKER_STATE["evaluate_fn"] = evaluate_fn
     _WORKER_STATE["evaluator"] = evaluator or PerTrialEvaluator()
+    _WORKER_STATE["trace"] = bool(trace)
 
 
-def _run_trial_group(group: list) -> list[TrialResult]:
+def _run_trial_group(group: list) -> dict:
     # The worker runs the same evaluator instance the main process would
     # use in-process — batching logic has exactly one code path — so the
     # per-trial scores a pool returns are the serial path's, bit for bit.
+    # When the parent session is tracing, the worker captures its own local
+    # spans under a throwaway Telemetry and ships the snapshot back in the
+    # same payload as the results; the parent grafts it under the span that
+    # submitted the task.
     state = _WORKER_STATE
-    return state["evaluator"].run(state["model"], state["data"],
-                                  state["evaluate_fn"], dict(group),
-                                  state["injector"].apply_trial)
+
+    def evaluate() -> list[TrialResult]:
+        return state["evaluator"].run(state["model"], state["data"],
+                                      state["evaluate_fn"], dict(group),
+                                      state["injector"].apply_trial)
+
+    if not state.get("trace"):
+        return {"results": evaluate(), "telemetry": None}
+    telemetry = Telemetry()
+    with using(telemetry):
+        with telemetry.span("task", trials=len(group)):
+            results = evaluate()
+    return {"results": results, "telemetry": telemetry.snapshot()}
 
 
 def _pool_context():
@@ -96,7 +113,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 mp_context=_pool_context(),
                 initializer=_init_worker,
                 initargs=(context.model, context.data, context.evaluate_fn,
-                          context.evaluator))
+                          context.evaluator, context.trace))
         return self._pool
 
     def _group_pending(self, pending: dict[str, dict]) -> list[list]:
@@ -126,16 +143,23 @@ class ProcessPoolBackend(ExecutionBackend):
         groups = self._group_pending(pending)
         if len(groups) < 2:
             return self._run_in_process(pending, apply_trial)
-        pool = self._ensure_pool(len(groups))
-        futures = [pool.submit(_run_trial_group, group) for group in groups]
-        self.tasks_shipped += len(futures)
-        self.bytes_shipped += sum(self._task_bytes(digest, params)
-                                  for digest, params in pending.items())
-        results = []
-        for future in futures:
-            results.extend(future.result())
-        self.used_backend = self.name
-        self.workers_used = self._pool._max_workers
+        telemetry = current()
+        with telemetry.span("backend", backend=self.name,
+                            tasks=len(groups)) as span:
+            pool = self._ensure_pool(len(groups))
+            futures = [pool.submit(_run_trial_group, group)
+                       for group in groups]
+            self.metrics.counter("tasks_shipped").add(len(futures))
+            self.metrics.counter("bytes_shipped").add(
+                sum(self._task_bytes(digest, params)
+                    for digest, params in pending.items()))
+            results = []
+            for future in futures:
+                payload = future.result()
+                results.extend(payload["results"])
+                telemetry.absorb(payload["telemetry"], under=span)
+            self.used_backend = self.name
+            self.workers_used = self._pool._max_workers
         return results
 
     def close(self) -> None:

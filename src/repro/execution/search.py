@@ -24,6 +24,7 @@ import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Callable
 
+from ..telemetry import MetricsRegistry, current
 from .process import _pool_context
 
 __all__ = ["SearchTrialPool", "SEARCH_BACKENDS"]
@@ -87,8 +88,12 @@ class SearchTrialPool:
 
     Attributes
     ----------
-    used_backend / tasks_shipped / fell_back:
+    used_backend / tasks_shipped / fell_back / fallback_reason:
         Volatile scheduling accounting (never part of canonical results).
+        ``tasks_shipped`` and ``fell_back`` are views over the pool's
+        :class:`~repro.telemetry.MetricsRegistry` (``fell_back`` is
+        "``pool_fallbacks`` > 0"), so a degraded search is visible both on
+        the pool and — when a session is active — in the run's telemetry.
     """
 
     def __init__(self, task_fn: Callable, context: dict, workers: int = 0,
@@ -106,9 +111,17 @@ class SearchTrialPool:
         self._context = context
         self.workers = int(workers)
         self.used_backend = backend
-        self.tasks_shipped = 0
-        self.fell_back = False
+        self.metrics = MetricsRegistry()
+        self.fallback_reason: str | None = None
         self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def tasks_shipped(self) -> int:
+        return self.metrics.value("tasks_shipped")
+
+    @property
+    def fell_back(self) -> bool:
+        return self.metrics.value("pool_fallbacks") > 0
 
     # ------------------------------------------------------------------ #
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -146,7 +159,8 @@ class SearchTrialPool:
                            for index, payload in enumerate(payloads)}
             except Exception as error:  # submission/fork-time failure
                 raise _PoolBroke(error) from error
-            self.tasks_shipped += len(futures)
+            self.metrics.counter("tasks_shipped").add(len(futures))
+            current().add("tasks_shipped", len(futures))
             for future in as_completed(futures):
                 try:
                     results[futures[future]] = future.result()
@@ -155,7 +169,11 @@ class SearchTrialPool:
         except _PoolBroke as broke:
             warnings.warn(f"search-trial fan-out fell back to serial "
                           f"execution ({broke})", RuntimeWarning, stacklevel=2)
-            self.fell_back = True
+            self.metrics.counter("pool_fallbacks").add()
+            self.fallback_reason = str(broke)
+            # Surface the degradation in the ambient session too, so run
+            # summaries can report it after the warning has scrolled away.
+            current().add("search_pool_fallbacks")
             self.close()
             self._run_serial(payloads, results)
         return results

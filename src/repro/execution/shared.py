@@ -34,6 +34,7 @@ from typing import Callable
 import numpy as np
 
 from ..data.loader import Dataset
+from ..telemetry import Telemetry, current, using
 from .base import TrialResult, register_backend
 from .process import (_init_worker, _pool_context, _WORKER_STATE,
                       ProcessPoolBackend)
@@ -83,7 +84,7 @@ def _attach(segment_name: str, pin: bool = False) -> shared_memory.SharedMemory:
     return segment
 
 
-def _run_shared_group(segment_name: str, entries: list) -> list[TrialResult]:
+def _run_shared_group(segment_name: str, entries: list) -> dict:
     segment = _attach(segment_name)
     pending = {}
     for digest, table in entries:
@@ -96,9 +97,21 @@ def _run_shared_group(segment_name: str, entries: list) -> list[TrialResult]:
             params[name] = np.array(view)
         pending[digest] = params
     state = _WORKER_STATE
-    return state["evaluator"].run(state["model"], state["data"],
-                                  state["evaluate_fn"], pending,
-                                  state["injector"].apply_trial)
+
+    def evaluate() -> list[TrialResult]:
+        return state["evaluator"].run(state["model"], state["data"],
+                                      state["evaluate_fn"], pending,
+                                      state["injector"].apply_trial)
+
+    # Same result/telemetry envelope as the pickled pool's task function:
+    # capture local spans only when the parent session asked for them.
+    if not state.get("trace"):
+        return {"results": evaluate(), "telemetry": None}
+    telemetry = Telemetry()
+    with using(telemetry):
+        with telemetry.span("task", trials=len(entries)):
+            results = evaluate()
+    return {"results": results, "telemetry": telemetry.snapshot()}
 
 
 # --------------------------------------------------------------------------- #
@@ -134,10 +147,11 @@ def _attach_dataset(handle: _DatasetHandle) -> Dataset:
     return dataset
 
 
-def _init_shared_worker(model, data, evaluate_fn, evaluator=None) -> None:
+def _init_shared_worker(model, data, evaluate_fn, evaluator=None,
+                        trace: bool = False) -> None:
     if isinstance(data, _DatasetHandle):
         data = _attach_dataset(data)
-    _init_worker(model, data, evaluate_fn, evaluator)
+    _init_worker(model, data, evaluate_fn, evaluator, trace)
 
 
 @register_backend("shared_memory")
@@ -179,14 +193,15 @@ class SharedMemoryBackend(ProcessPoolBackend):
                 # travels pickled.
                 segment, handle = self._publish_dataset(data)
                 self._data_segment = segment
-                self.bytes_shipped += len(pickle.dumps(handle))
+                self.metrics.counter("bytes_shipped").add(
+                    len(pickle.dumps(handle)))
                 data = handle
             self._pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, task_count),
                 mp_context=_pool_context(),
                 initializer=_init_shared_worker,
                 initargs=(context.model, data, context.evaluate_fn,
-                          context.evaluator))
+                          context.evaluator, context.trace))
         return self._pool
 
     def _publish_dataset(self, data: Dataset
@@ -236,23 +251,30 @@ class SharedMemoryBackend(ProcessPoolBackend):
         groups = self._group_pending(pending)
         if len(groups) < 2:
             return self._run_in_process(pending, apply_trial)
-        pool = self._ensure_pool(len(groups))
-        segment, tables = self._publish(pending)
-        try:
-            futures = []
-            for group in groups:
-                message = (segment.name,
-                           [(digest, tables[digest]) for digest, _ in group])
-                self.bytes_shipped += len(pickle.dumps(message))
-                futures.append(pool.submit(_run_shared_group, *message))
-            self.tasks_shipped += len(futures)
-            results = []
-            for future in futures:
-                results.extend(future.result())
-        finally:
-            self._release(segment)
-        self.used_backend = self.name
-        self.workers_used = self._pool._max_workers
+        telemetry = current()
+        with telemetry.span("backend", backend=self.name,
+                            tasks=len(groups)) as span:
+            pool = self._ensure_pool(len(groups))
+            segment, tables = self._publish(pending)
+            bytes_counter = self.metrics.counter("bytes_shipped")
+            try:
+                futures = []
+                for group in groups:
+                    message = (segment.name,
+                               [(digest, tables[digest])
+                                for digest, _ in group])
+                    bytes_counter.add(len(pickle.dumps(message)))
+                    futures.append(pool.submit(_run_shared_group, *message))
+                self.metrics.counter("tasks_shipped").add(len(futures))
+                results = []
+                for future in futures:
+                    payload = future.result()
+                    results.extend(payload["results"])
+                    telemetry.absorb(payload["telemetry"], under=span)
+            finally:
+                self._release(segment)
+            self.used_backend = self.name
+            self.workers_used = self._pool._max_workers
         return results
 
     def close(self) -> None:

@@ -43,6 +43,7 @@ from typing import Callable
 import numpy as np
 
 from ..execution.base import TrialResult, split_metrics
+from ..telemetry import current
 
 __all__ = [
     "InferenceEvaluator", "PerTrialEvaluator", "TrialBatchedEvaluator",
@@ -79,12 +80,14 @@ class PerTrialEvaluator(InferenceEvaluator):
 
     def run(self, model, data, evaluate_fn: Callable, pending: dict,
             apply_trial: Callable[[dict], None]) -> list[TrialResult]:
+        telemetry = current()
         results = []
         for digest, params in pending.items():
-            apply_trial(params)
-            start = time.perf_counter()
-            value = evaluate_fn(model, data)
-            score, loss = split_metrics(value)
+            with telemetry.span("trial"):
+                apply_trial(params)
+                start = time.perf_counter()
+                value = evaluate_fn(model, data)
+                score, loss = split_metrics(value)
             results.append(TrialResult(digest, score, loss,
                                        time.perf_counter() - start))
         return results
@@ -127,8 +130,9 @@ class TrialBatchedEvaluator(InferenceEvaluator):
             stacked = {name: np.stack([params[name] for _, params in group])
                        for name in group[0][1]}
             begin = time.perf_counter()
-            apply_trial(stacked)
-            metrics = evaluate_fn.evaluate_trials(model, data, len(group))
+            with current().span("trial_batch", trials=len(group)):
+                apply_trial(stacked)
+                metrics = evaluate_fn.evaluate_trials(model, data, len(group))
             if len(metrics) != len(group):
                 raise RuntimeError(
                     f"{type(evaluate_fn).__name__}.evaluate_trials returned "

@@ -7,7 +7,11 @@ Subcommands:
 * ``run`` — execute a scenario into an on-disk result store (finished
   cells are skipped on re-runs; ``--backend`` picks the trial execution
   backend, ``--cell-workers`` fans a grid scenario's cells over worker
-  processes);
+  processes, ``--trace out.jsonl`` captures a span trace, ``--progress``
+  prints live done/total + ETA lines to stderr);
+* ``trace summarize`` — human report over a ``--trace`` JSONL file (top
+  spans by cumulative time, cache hit rate, bytes shipped, worker
+  utilisation);
 * ``report`` — tabulate every cell stored under ``--out``;
 * ``compare`` — align the stored cells of two or more grid scenarios;
 * ``gc`` — size accounting and garbage collection for long-lived stores.
@@ -26,6 +30,14 @@ from ..data.registry import available_datasets
 from ..evaluation.statistics import curve_auc
 from ..execution import available_backends
 from ..models.registry import available_models
+from ..telemetry import (
+    ProgressReporter,
+    Telemetry,
+    format_trace_summary,
+    summarize_trace,
+    using,
+    write_trace_jsonl,
+)
 from ..utils.config import ExperimentConfig
 from .library import available_scenarios, get_scenario
 from .runner import ScenarioRunner
@@ -68,29 +80,67 @@ def _cmd_list(args) -> int:
 # --------------------------------------------------------------------------- #
 def _cmd_run(args) -> int:
     store = ResultStore(args.out)
+    reporter = None
+    if args.progress:
+        scenario = get_scenario(args.scenario)
+        # Figure scenarios discover their cells as the harness runs;
+        # total=0 makes the reporter count without a percentage.
+        total = len(scenario.cells(seed=args.seed)) \
+            if scenario.figure is None else 0
+        reporter = ProgressReporter(
+            total, emit=lambda line: print(line, file=sys.stderr))
     runner = ScenarioRunner(store, workers=args.workers,
                             max_chunk_trials=args.chunk_trials,
                             backend=args.backend,
                             trial_batch=args.trial_batch,
                             search_workers=args.search_workers,
                             suggest_batch=args.suggest_batch,
-                            progress=None if args.json else print)
+                            progress=None if args.json else print,
+                            reporter=reporter)
     # Figure scenarios default to the fast config (scenario.default_config);
     # --full runs the harness at its own full-scale default.  Grid cells
     # embed their training config in the spec and ignore this.
     config = ExperimentConfig() if args.full else None
     cell_backend = "process" if (args.cell_workers or 0) >= 2 else None
-    runs = runner.run_scenario(args.scenario, config=config, seed=args.seed,
-                               cell_backend=cell_backend,
-                               cell_workers=args.cell_workers)
+
+    def _run():
+        return runner.run_scenario(args.scenario, config=config,
+                                   seed=args.seed, cell_backend=cell_backend,
+                                   cell_workers=args.cell_workers)
+
+    if args.trace:
+        telemetry = Telemetry()
+        with using(telemetry):
+            runs = _run()
+        snapshot = telemetry.snapshot()
+        write_trace_jsonl(snapshot, args.trace)
+    else:
+        runs = _run()
     cached = sum(run.cached for run in runs)
     payload = {"scenario": args.scenario, "store": str(store.root),
                "cells": [run.summary() for run in runs],
                "cells_total": len(runs), "cells_cached": cached,
-               "cells_executed": len(runs) - cached}
-    _emit(payload, args.json,
-          f"{args.scenario}: {len(runs)} cells, {cached} answered from the "
-          f"store, {len(runs) - cached} executed (results in {store.root})")
+               "cells_executed": len(runs) - cached,
+               "degraded": runner.degraded}
+    text = (f"{args.scenario}: {len(runs)} cells, {cached} answered from the "
+            f"store, {len(runs) - cached} executed (results in {store.root})")
+    if args.trace:
+        payload["telemetry"] = {"trace": args.trace,
+                                "counters": snapshot["metrics"]["counters"],
+                                "gauges": snapshot["metrics"]["gauges"]}
+        text += f"\ntrace written to {args.trace} " \
+                f"(python -m repro trace summarize {args.trace})"
+    for event in runner.degraded:
+        text += (f"\nDEGRADED {event['layer']} in {event['cell']}: "
+                 f"{event['reason']}")
+    _emit(payload, args.json, text)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_trace_summarize(args) -> int:
+    summary = summarize_trace(args.path)
+    _emit(summary, args.json, format_trace_summary(summary, top=args.top))
     return 0
 
 
@@ -255,8 +305,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="figure scenarios: run the harness at its "
                             "full-scale default config instead of the fast "
                             "one (grid scenarios embed their own config)")
+    p_run.add_argument("--trace", default=None, metavar="PATH",
+                       help="capture a span trace of the whole run to a "
+                            "JSON-lines file (never changes results; "
+                            "inspect with `trace summarize`)")
+    p_run.add_argument("--progress", action="store_true",
+                       help="print live done/total + ETA lines to stderr "
+                            "as cells complete")
     p_run.add_argument("--json", action="store_true")
     p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser("trace", help="inspect a --trace JSONL file")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_sum = trace_sub.add_parser(
+        "summarize", help="span/metric breakdown: top spans by cumulative "
+                          "time, cache hit rate, bytes shipped, worker "
+                          "utilisation")
+    p_sum.add_argument("path", help="JSONL file written by run --trace")
+    p_sum.add_argument("--top", type=int, default=12,
+                       help="span rows to show (default: 12)")
+    p_sum.add_argument("--json", action="store_true")
+    p_sum.set_defaults(func=_cmd_trace_summarize)
 
     p_report = sub.add_parser("report", help="tabulate a result store")
     p_report.add_argument("--out", default="results")

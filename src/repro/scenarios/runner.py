@@ -38,6 +38,7 @@ from ..evaluation.sweep import DriftSweepEngine, SweepReport
 from ..execution.cells import CELL_BACKENDS, run_cells
 from ..fault.policy import build_policy
 from ..models.registry import build_model
+from ..telemetry import ProgressReporter, current, span_breakdown
 from ..training.trainer import train_classifier, train_detector
 from .spec import ScenarioSpec
 from .store import ResultStore
@@ -110,6 +111,10 @@ class ScenarioRunner:
     progress:
         Optional ``callable(str)`` receiving one line per cell (the CLI
         passes ``print``).
+    reporter:
+        Optional :class:`~repro.telemetry.ProgressReporter` emitting
+        ``done/total`` + ETA lines as matrix cells complete (the CLI's
+        ``--progress`` flag).  Purely cosmetic — wall-clock only.
     """
 
     def __init__(self, store: ResultStore | None = None, *,
@@ -119,7 +124,8 @@ class ScenarioRunner:
                  trial_batch: int | None = None,
                  search_workers: int | None = None,
                  suggest_batch: int | None = None,
-                 progress: Callable[[str], None] | None = None):
+                 progress: Callable[[str], None] | None = None,
+                 reporter: ProgressReporter | None = None):
         self.store = store
         self.workers = workers
         self.max_chunk_trials = max_chunk_trials
@@ -128,8 +134,13 @@ class ScenarioRunner:
         self.search_workers = search_workers
         self.suggest_batch = suggest_batch
         self.progress = progress
+        self.reporter = reporter
         #: Every cell this runner has resolved, in execution order.
         self.runs: list[ScenarioRun] = []
+        #: Degradation events (pool fallbacks) observed by this runner, in
+        #: occurrence order — surfaced in CLI run summaries so a degraded
+        #: run is detectable after its RuntimeWarning has scrolled away.
+        self.degraded: list[dict] = []
 
     # ------------------------------------------------------------------ #
     def _log(self, message: str) -> None:
@@ -172,15 +183,25 @@ class ScenarioRunner:
         return _factory
 
     def _finish(self, spec: ScenarioSpec, report: SweepReport, cached: bool,
-                elapsed: float, scenario: str | None) -> ScenarioRun:
+                elapsed: float, scenario: str | None,
+                telemetry_summary: dict | None = None) -> ScenarioRun:
+        if not cached and report.fallback_reason:
+            self.degraded.append({"cell": spec.name, "layer": "sweep",
+                                  "reason": report.fallback_reason})
         if not cached and self.store is not None:
             metadata = {"scenario": scenario} if scenario else {}
+            if telemetry_summary:
+                # Volatile by construction (wall timings) — meta.json only,
+                # never report.json, so store bytes stay canonical.
+                metadata["telemetry"] = telemetry_summary
             self.store.save(spec, report, metadata)
         run = ScenarioRun(spec=spec, report=report, cached=cached,
                           elapsed_seconds=elapsed)
         self.runs.append(run)
         state = "cached" if cached else f"ran in {elapsed:.2f}s"
         self._log(f"  [{spec.spec_hash()[:12]}] {spec.name}: {state}")
+        if self.reporter is not None:
+            self.reporter.advance(note=f"{spec.name} ({state})")
         return run
 
     # ------------------------------------------------------------------ #
@@ -196,9 +217,14 @@ class ScenarioRunner:
             report = self.store.load(spec)
             return self._finish(spec, report, True,
                                 time.perf_counter() - start, scenario)
-        report = self._execute(spec)
+        telemetry = current()
+        with telemetry.span("cell", cell=spec.name,
+                            hash=spec.spec_hash()[:12]) as span:
+            report = self._execute(spec)
+        summary = span_breakdown(span) if telemetry.enabled else None
         return self._finish(spec, report, False,
-                            time.perf_counter() - start, scenario)
+                            time.perf_counter() - start, scenario,
+                            telemetry_summary=summary)
 
     def run_specs(self, specs: Sequence[ScenarioSpec],
                   scenario: str | None = None, backend: str | None = None,
@@ -244,8 +270,16 @@ class ScenarioRunner:
                                  trial_batch=self.trial_batch,
                                  search_workers=self.search_workers,
                                  suggest_batch=self.suggest_batch)
-            payloads = run_cells(missing, store_root, scenario,
-                                 workers=workers, runner_kwargs=runner_kwargs)
+            on_cell = None
+            if self.reporter is not None:
+                on_cell = lambda payload: self.reporter.advance()  # noqa: E731
+            payloads, cell_fallback = run_cells(
+                missing, store_root, scenario, workers=workers,
+                runner_kwargs=runner_kwargs, progress=on_cell)
+            if cell_fallback:
+                self.degraded.append({"cell": scenario or "(batch)",
+                                      "layer": "cell_fanout",
+                                      "reason": cell_fallback})
             executed = {spec.spec_hash(): payload
                         for spec, payload in zip(missing, payloads)}
         runs = []
@@ -255,6 +289,9 @@ class ScenarioRunner:
                 runs.append(self.run(spec, scenario=scenario))
                 continue
             report = SweepReport.from_dict(payload["report"])
+            if not payload["cached"] and report.fallback_reason:
+                self.degraded.append({"cell": spec.name, "layer": "sweep",
+                                      "reason": report.fallback_reason})
             run = ScenarioRun(spec=spec, report=report, cached=payload["cached"],
                               elapsed_seconds=payload["elapsed_seconds"])
             self.runs.append(run)
@@ -351,11 +388,15 @@ class ScenarioRunner:
             return report
         if rng is None:
             rng = np.random.default_rng(spec.seed + EVALUATION_SEED_OFFSET)
-        engine = DriftSweepEngine(model, data, rng=rng,
-                                  **self._engine_kwargs(spec))
-        report = engine.run(spec.sigmas, label=spec.name)
+        telemetry = current()
+        with telemetry.span("cell", cell=spec.name,
+                            hash=spec.spec_hash()[:12]) as span:
+            engine = DriftSweepEngine(model, data, rng=rng,
+                                      **self._engine_kwargs(spec))
+            report = engine.run(spec.sigmas, label=spec.name)
+        summary = span_breakdown(span) if telemetry.enabled else None
         self._finish(spec, report, False, time.perf_counter() - start,
-                     scenario)
+                     scenario, telemetry_summary=summary)
         return report
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,48 @@
+"""repro.telemetry — unified tracing, metrics and progress.
+
+One observability layer for the whole system: nested wall-clock spans
+(:mod:`.tracer`), a single counter/gauge implementation behind every
+volatile stat (:mod:`.metrics`), an ambient session with a worker-side
+capture/parent-side merge protocol (:mod:`.session`), JSON-lines export
+and human summaries (:mod:`.export`), and live matrix-run progress lines
+(:mod:`.progress`).
+
+The contract that shapes everything here: telemetry is **zero-cost when
+off** (the default session is a shared no-op object) and **never touches
+canonical output** — canonical reports, golden BO traces and spec hashes
+are byte-identical with tracing on or off, across every backend and
+worker count (``tests/test_telemetry.py``).
+"""
+
+from .export import (
+    format_trace_summary,
+    read_trace_jsonl,
+    span_breakdown,
+    summarize_trace,
+    write_trace_jsonl,
+)
+from .metrics import Counter, Gauge, MetricsRegistry
+from .progress import ProgressReporter
+from .session import NULL_TELEMETRY, NullTelemetry, Telemetry, current, using
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "using",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "summarize_trace",
+    "format_trace_summary",
+    "span_breakdown",
+    "ProgressReporter",
+]

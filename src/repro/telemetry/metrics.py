@@ -1,0 +1,136 @@
+"""One counter implementation for the whole system.
+
+Before this module existed every layer kept its own ad-hoc volatile
+counters — ``evaluations_total``/``cache_hits_total`` on the BayesFT
+objective, ``tasks_shipped``/``bytes_shipped`` on the execution backends,
+``batched_evaluations`` on the sweep engine, ``search_stats`` on the async
+search pool.  They are all the same thing: a named, monotonically growing
+number that describes scheduling work and never enters canonical results.
+:class:`MetricsRegistry` is the single implementation they now share; the
+old attribute names survive as properties (views) over a registry, so no
+report field or external API broke in the migration.
+
+Two metric kinds cover everything the system records:
+
+* :class:`Counter` — add-only (evaluations run, cache hits, bytes shipped,
+  pool fallbacks).  Merging two counters sums them, which is exactly the
+  parent-side semantics for counters shipped back from worker processes.
+* :class:`Gauge` — last-written level (worker count, trial-batch size).
+  Merging keeps the maximum, so a parent absorbing many workers reports
+  the widest configuration any of them saw.
+
+Registries are plain dictionaries of slotted objects: incrementing a
+counter costs one attribute add, the same as the ``self.x += n`` lines it
+replaced, so always-on metrics impose no measurable overhead (asserted by
+``benchmarks/test_telemetry_bench.py``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+
+class Counter:
+    """A named add-only metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named last-written level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class MetricsRegistry:
+    """Named counters and gauges with snapshot/merge for worker shipping.
+
+    ``counter(name)`` / ``gauge(name)`` create on first use and return the
+    same object afterwards, so call sites can cache the metric outside a
+    hot loop or re-resolve it by name — both hit the same storage.  A name
+    registered as one kind cannot be re-registered as the other: that
+    would silently change merge semantics.
+    """
+
+    __slots__ = ("_counters", "_gauges")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            if name in self._gauges:
+                raise ValueError(f"metric {name!r} is already a gauge")
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            if name in self._counters:
+                raise ValueError(f"metric {name!r} is already a counter")
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def value(self, name: str, default: int | float = 0) -> int | float:
+        """Current value of a metric by name (``default`` if never touched)."""
+        metric = self._counters.get(name) or self._gauges.get(name)
+        return default if metric is None else metric.value
+
+    def reset(self) -> None:
+        """Zero every registered metric (a backend does this per sweep)."""
+        for metric in self._counters.values():
+            metric.value = 0
+        for metric in self._gauges.values():
+            metric.value = 0
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict:
+        """Flat ``{name: value}`` view over both kinds, sorted by name."""
+        merged = {name: metric.value for name, metric in self._counters.items()}
+        merged.update({name: metric.value
+                       for name, metric in self._gauges.items()})
+        return dict(sorted(merged.items()))
+
+    def snapshot(self) -> dict:
+        """Kind-preserving serialisation (what worker processes ship back)."""
+        return {
+            "counters": {name: metric.value
+                         for name, metric in sorted(self._counters.items())},
+            "gauges": {name: metric.value
+                       for name, metric in sorted(self._gauges.items())},
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Absorb a :meth:`snapshot`: counters sum, gauges keep the max."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, value))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges)

@@ -1,0 +1,56 @@
+"""Live progress lines for matrix runs (``python -m repro run --progress``).
+
+A :class:`ProgressReporter` prints one line per completed cell — done/total
+count, percentage, elapsed wall-clock and a remaining-time estimate from
+the mean pace so far.  It writes to a supplied ``emit`` callable (the CLI
+passes ``print`` to stderr) so tests can capture lines without touching
+real output streams, and it is wall-clock-only: nothing it computes feeds
+canonical results.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["ProgressReporter"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class ProgressReporter:
+    """Counts completed work items and formats ``done/total`` + ETA lines."""
+
+    def __init__(self, total: int, label: str = "cells", emit=None):
+        self.total = max(int(total), 0)
+        self.label = label
+        self.emit = emit
+        self.done = 0
+        self._started = time.perf_counter()
+
+    def advance(self, n: int = 1, note: str = "") -> str:
+        """Record ``n`` completions; format, emit and return the line."""
+        self.done += n
+        elapsed = time.perf_counter() - self._started
+        if self.total:
+            pct = 100.0 * self.done / self.total
+            line = (f"[{self.done}/{self.total}] {pct:.0f}% {self.label} "
+                    f"elapsed {_fmt_seconds(elapsed)}")
+        else:
+            # total=0 means "unknown" (figure-harness scenarios discover
+            # their cells as they go): count without percentage or ETA.
+            line = (f"[{self.done}] {self.label} "
+                    f"elapsed {_fmt_seconds(elapsed)}")
+        if self.total and self.done and self.total > self.done:
+            eta = elapsed / self.done * (self.total - self.done)
+            line += f" eta {_fmt_seconds(eta)}"
+        if note:
+            line += f" {note}"
+        if self.emit is not None:
+            self.emit(line)
+        return line

@@ -1,0 +1,119 @@
+"""The ambient telemetry session: one object bundling tracer + metrics.
+
+Instrumented code never threads a telemetry handle through its signatures
+— call stacks here cross process boundaries (engine → backend → worker →
+evaluator) and every signature is part of a determinism contract.  Instead
+a module-level stack holds the active session: :func:`current` returns the
+top (by default :data:`NULL_TELEMETRY`, whose every operation is a no-op),
+and :func:`using` pushes a live :class:`Telemetry` for the duration of a
+``with`` block.  The CLI activates one session per run; worker processes
+activate their own local session per task when the parent's session is
+enabled, and ship the snapshot back with the results.
+
+The worker merge protocol is deliberately one-directional and value-only:
+
+1. parent opens a submitting span (``backend``/``bo_batch``) and, because
+   ``current().enabled`` is true, sets a plain ``trace`` flag in the
+   shipped context;
+2. worker sees the flag, builds a throwaway ``Telemetry()``, runs the task
+   under ``using(...)``, and returns ``snapshot()`` (pure dicts — cheap to
+   pickle, nothing process-specific) alongside the task results;
+3. parent calls :meth:`Telemetry.absorb`: spans are grafted under the
+   submitting span (offsets rebased, roots tagged ``remote``), counters
+   sum, gauges keep the max.
+
+Results and telemetry travel in the same task payload, so a dropped task
+drops its telemetry with it — the trace never claims work that did not
+report back.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry
+from .tracer import NULL_TRACER, Span, Tracer
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY", "current", "using"]
+
+
+class Telemetry:
+    """A live session: a :class:`Tracer` plus a :class:`MetricsRegistry`."""
+
+    enabled = True
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------ spans
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    # ---------------------------------------------------------- metrics
+    def add(self, name: str, amount: int | float = 1) -> None:
+        self.metrics.counter(name).add(amount)
+
+    def gauge(self, name: str, value: int | float) -> None:
+        gauge = self.metrics.gauge(name)
+        gauge.set(max(gauge.value, value))
+
+    # ------------------------------------------------- worker protocol
+    def snapshot(self) -> dict:
+        """Everything a worker ships back: pure dicts, stable ordering."""
+        return {"spans": self.tracer.export(),
+                "metrics": self.metrics.snapshot()}
+
+    def absorb(self, snapshot: dict | None, under: Span | None = None) -> None:
+        """Merge a worker :meth:`snapshot` into this session."""
+        if not snapshot:
+            return
+        self.tracer.graft(snapshot.get("spans", ()), under)
+        self.metrics.merge(snapshot.get("metrics", {}))
+
+
+class NullTelemetry:
+    """Disabled session — the default.  Every operation is a no-op."""
+
+    enabled = False
+
+    tracer = NULL_TRACER
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs):
+        return NULL_TRACER.span(name)
+
+    def add(self, name: str, amount: int | float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: int | float) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"spans": [], "metrics": {"counters": {}, "gauges": {}}}
+
+    def absorb(self, snapshot, under=None) -> None:
+        pass
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+_STACK: list = [NULL_TELEMETRY]
+
+
+def current():
+    """The active session (:data:`NULL_TELEMETRY` unless inside `using`)."""
+    return _STACK[-1]
+
+
+@contextmanager
+def using(telemetry):
+    """Make ``telemetry`` the ambient session for the duration of the block."""
+    _STACK.append(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _STACK.pop()

@@ -1,0 +1,162 @@
+"""Nested wall-clock spans with a zero-cost no-op default.
+
+A :class:`Span` is a context manager recording a name, attributes, a start
+offset and a duration; spans opened while another span is active become its
+children, so a traced run yields a forest that mirrors the call structure:
+
+    cell → train → sweep → sigma → chunk → backend → task → trial_batch
+    bo_batch → suggest_batch / search_trial → train → evaluate
+
+Timing uses :func:`time.perf_counter` (monotonic); every ``start`` is
+recorded relative to the tracer's epoch so a trace is self-contained and
+position-independent — which is what makes :meth:`Tracer.graft` possible:
+a worker process runs its own tracer from its own epoch, ships the
+serialised spans back with the task results, and the parent grafts them
+under the span that submitted the task, rebasing the offsets onto its own
+timeline.  Durations are never rewritten: summarisation accounts time by
+``seconds``, so a graft can only mis-place a span horizontally, never
+change how much time it is charged.
+
+The default tracer everywhere is :data:`NULL_TRACER`: its ``span()``
+returns one shared, pre-allocated no-op context manager, so untraced code
+pays one method call per span site and allocates nothing.  The determinism
+benchmark (``benchmarks/test_telemetry_bench.py``) pins this down.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed region.  Use via ``with tracer.span(name, **attrs):``."""
+
+    __slots__ = ("name", "attrs", "start", "seconds", "children", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.seconds = 0.0
+        self.children: list = []   # Span objects and grafted span dicts
+        self._tracer = tracer
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (e.g. dedupe counts)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.start = time.perf_counter() - tracer.epoch
+        stack = tracer._stack
+        (stack[-1].children if stack else tracer.roots).append(self)
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._tracer.epoch - self.start
+        stack = self._tracer._stack
+        # Tolerate exception-driven unwinding that skipped inner __exit__s.
+        while stack and stack.pop() is not self:
+            pass
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "seconds": round(self.seconds, 9),
+            "attrs": dict(self.attrs),
+            "children": [child if isinstance(child, dict) else child.to_dict()
+                         for child in self.children],
+        }
+
+
+def _rebase(span: dict, offset: float) -> dict:
+    """Shift a serialised span tree's offsets by ``offset`` (new dicts)."""
+    shifted = dict(span)
+    shifted["start"] = span.get("start", 0.0) + offset
+    shifted["children"] = [_rebase(child, offset)
+                          for child in span.get("children", ())]
+    return shifted
+
+
+class Tracer:
+    """Collects a forest of :class:`Span` trees against one epoch."""
+
+    enabled = True
+
+    __slots__ = ("epoch", "roots", "_stack")
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.roots: list = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def graft(self, spans: list, under: Span | None = None) -> None:
+        """Adopt serialised worker spans under ``under`` (or as roots).
+
+        Worker offsets are relative to the *worker's* epoch; rebasing them
+        onto the receiving span's start keeps the picture "this work
+        happened while the submitting span was open".  Roots are tagged
+        ``remote`` so summaries can compute worker busy-time.
+        """
+        offset = under.start if under is not None else 0.0
+        target = under.children if under is not None else self.roots
+        for span in spans:
+            adopted = _rebase(span, offset)
+            adopted.setdefault("attrs", {})["remote"] = True
+            target.append(adopted)
+
+    def export(self) -> list[dict]:
+        """Serialise the forest (open spans export with their current state)."""
+        return [root.to_dict() for root in self.roots]
+
+
+class _NullSpan:
+    """Shared do-nothing span; one instance serves every disabled call site."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def graft(self, spans: list, under=None) -> None:
+        pass
+
+    def export(self) -> list[dict]:
+        return []
+
+
+NULL_TRACER = NullTracer()
