@@ -1,0 +1,188 @@
+"""Result-store scale bench: 100k synthetic cells, flat vs. indexed.
+
+Fabricates a ``REPRO_STORE_BENCH_CELLS`` (default 100 000) cell store in
+the legacy flat layout, then measures the operations ROADMAP #4 named as
+the bottleneck:
+
+* **contains-heavy resume** — the flat baseline stats three files per
+  cell (the pre-index ``ResultStore.contains`` loop); the sharded+indexed
+  store answers the same membership question with one SQL batch probe
+  (``missing_hashes``).  The bench asserts the indexed path is ≥20×
+  faster.
+* **stats()** — asserted to complete without a single per-entry tree walk
+  (sizes and stamps come from the index).
+* **migrate** — flat → sharded by rename; a sample of canonical
+  ``report.json`` bytes is asserted identical before and after, and query
+  results are asserted identical with the index deleted and rebuilt.
+
+Writes the machine-readable ``BENCH_store.json`` at the repo root (CI
+uploads it as an artifact; gitignored locally).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.scenarios import ResultStore
+from repro.scenarios.index import INDEX_FILE
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+N_CELLS = int(os.environ.get("REPRO_STORE_BENCH_CELLS", "100000"))
+MIN_SPEEDUP = 20.0
+
+_ENTRY_FILES = ("spec.json", "report.json", "meta.json")
+
+
+def _fabricate_flat_store(root: Path, n: int) -> list[str]:
+    """``n`` synthetic cells in the legacy flat layout, fast.
+
+    The entries are shaped like real ones (spec/report/meta JSON with the
+    fields the index rows summarize) but fabricated directly — running
+    100k genuine sweeps is not the thing under test.  Returns the entry
+    hashes in creation order.
+    """
+    root.mkdir(parents=True)
+    models = ("mlp", "lenet", "preact18", "vgg11")
+    faults = ("lognormal", "gaussian", "bitflip", "stuckat")
+    hashes = []
+    for i in range(n):
+        spec_hash = hashlib.sha256(f"bench-cell-{i}".encode()).hexdigest()
+        hashes.append(spec_hash)
+        worst = (i % 97) / 100.0
+        spec = {"name": f"bench-{i:06d}", "model": models[i % len(models)],
+                "dataset": "mnist", "fault": {"kind": faults[i % len(faults)]},
+                "sigmas": [0.0, 0.8], "trials": 3, "seed": i,
+                "metric": "accuracy"}
+        report = {"sigmas": [0.0, 0.8], "means": [0.9, worst],
+                  "stds": [0.0, 0.01], "trials": 3}
+        meta = {"scenario": f"bench-{i % 8}",
+                "created_at": f"2026-01-01T{i % 24:02d}:00:00+0000"}
+        entry = root / spec_hash
+        entry.mkdir()
+        for name, payload in (("spec.json", spec), ("report.json", report),
+                              ("meta.json", meta)):
+            (entry / name).write_text(json.dumps(payload))
+    return hashes
+
+
+def _flat_contains_resume(root: Path, hashes: list[str]) -> int:
+    """The pre-index resume probe: three ``is_file`` stats per cell."""
+    present = 0
+    for spec_hash in hashes:
+        entry = root / spec_hash
+        if all((entry / name).is_file() for name in _ENTRY_FILES):
+            present += 1
+    return present
+
+
+def test_store_scales_to_100k_cells(tmp_path, monkeypatch):
+    root = tmp_path / "store"
+
+    start = time.perf_counter()
+    hashes = _fabricate_flat_store(root, N_CELLS)
+    fill_seconds = time.perf_counter() - start
+
+    # Canonical-byte witnesses: a spread of entries sampled before any
+    # migration or indexing touches the store.
+    sample = hashes[:: max(1, N_CELLS // 64)]
+    bytes_before = {spec_hash: (root / spec_hash / "report.json").read_bytes()
+                    for spec_hash in sample}
+
+    # --- flat baseline: the old per-cell stat loop ---------------------- #
+    start = time.perf_counter()
+    present = _flat_contains_resume(root, hashes)
+    flat_resume_seconds = time.perf_counter() - start
+    assert present == N_CELLS
+
+    # --- migrate to the sharded layout + build the index ---------------- #
+    store = ResultStore(root)
+    start = time.perf_counter()
+    migration = store.migrate()
+    migrate_seconds = time.perf_counter() - start
+    assert migration["moved"] == N_CELLS
+    assert migration["entries"] == N_CELLS and migration["skipped"] == 0
+
+    # --- indexed resume: one batched membership probe ------------------- #
+    # Best of three: the probe is ~100ms, so a single sample would be
+    # dominated by page-cache and allocator noise.
+    indexed_resume_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        missing = store.missing_hashes(hashes)
+        indexed_resume_seconds = min(indexed_resume_seconds,
+                                     time.perf_counter() - start)
+        assert missing == []
+    speedup = flat_resume_seconds / max(indexed_resume_seconds, 1e-9)
+    assert speedup >= MIN_SPEEDUP, (
+        f"indexed resume is only {speedup:.1f}x faster than the flat stat "
+        f"loop over {N_CELLS} cells (flat {flat_resume_seconds:.3f}s, "
+        f"indexed {indexed_resume_seconds:.3f}s); the bench requires "
+        f">={MIN_SPEEDUP:g}x")
+
+    # --- stats() without per-entry tree walks --------------------------- #
+    walked = []
+    monkeypatch.setattr(
+        ResultStore, "_tree_bytes",
+        staticmethod(lambda path: walked.append(path) or 0))
+    start = time.perf_counter()
+    stats = store.stats()
+    stats_seconds = time.perf_counter() - start
+    monkeypatch.undo()
+    assert walked == [], "stats() walked an entry tree"
+    assert stats["entries"] == N_CELLS and stats["total_bytes"] > 0
+
+    # --- rich queries straight off the index ---------------------------- #
+    start = time.perf_counter()
+    fragile = store.query(model="preact18", fault="bitflip", worst="<0.5")
+    query_seconds = time.perf_counter() - start
+    assert 0 < len(fragile) < N_CELLS
+    assert all(row["model"] == "preact18" and row["worst"] < 0.5
+               for row in fragile)
+
+    # --- determinism: bytes and query results survive everything -------- #
+    for spec_hash, before in bytes_before.items():
+        entry = store.entry_dir(spec_hash)
+        assert entry.parent.name == spec_hash[:2]
+        assert (entry / "report.json").read_bytes() == before
+    store._index.close()
+    (root / INDEX_FILE).unlink()
+    start = time.perf_counter()
+    rebuilt = ResultStore(root).query(model="preact18", fault="bitflip",
+                                      worst="<0.5")
+    reindex_seconds = time.perf_counter() - start
+    assert rebuilt == fragile
+
+    summary = {
+        "cells": N_CELLS,
+        "perf": {
+            "fill_seconds": round(fill_seconds, 3),
+            "flat_resume_seconds": round(flat_resume_seconds, 4),
+            "indexed_resume_seconds": round(indexed_resume_seconds, 4),
+            "resume_speedup": round(speedup, 1),
+            "min_resume_speedup": MIN_SPEEDUP,
+            "migrate_seconds": round(migrate_seconds, 3),
+            "stats_seconds": round(stats_seconds, 4),
+            "stats_tree_walks": len(walked),
+            "query_seconds": round(query_seconds, 4),
+            "reindex_and_query_seconds": round(reindex_seconds, 3),
+        },
+        "query": {"filters": {"model": "preact18", "fault": "bitflip",
+                              "worst": "<0.5"},
+                  "matches": len(fragile)},
+        "migration": migration,
+        "byte_identity_sample": len(bytes_before),
+    }
+    BENCH_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"\n=== result-store scale bench (BENCH_store.json) ===")
+    print(f"fill:    {N_CELLS} flat cells in {fill_seconds:.1f}s")
+    print(f"resume:  flat stat loop {flat_resume_seconds:.3f}s vs indexed "
+          f"batch probe {indexed_resume_seconds:.4f}s -> {speedup:.0f}x")
+    print(f"migrate: flat -> sharded in {migrate_seconds:.1f}s "
+          f"({migration['moved']} renames + reindex)")
+    print(f"stats:   {stats_seconds:.4f}s, 0 tree walks; query "
+          f"{len(fragile)} fragile cells in {query_seconds:.4f}s")

@@ -3,8 +3,14 @@
 Scenario matrices (``fault_matrix``, ``dataset_matrix``, …) are embarrassingly
 parallel: every declarative :class:`~repro.scenarios.spec.ScenarioSpec` cell
 is seeded by its own ``spec.seed`` and touches nothing shared except the
-content-addressed result store, whose atomic staging-directory writes are
-already safe under concurrent writers.  This module ships whole *cells* —
+content-addressed result store, which is safe under concurrent writers by
+construction: each save publishes its staging directory with one atomic
+rename (first writer wins on duplicate hashes), and the SQLite index rows
+serialize behind WAL locking with a busy-timeout — each worker process
+opens its own connection (never inherited across ``fork``), so N workers
+hammering one store lose no entries and leave a consistent index
+(``tests/test_store.py`` asserts exactly that).  This module ships whole
+*cells* —
 a few kilobytes of spec JSON each — to worker processes, in contrast to the
 trial backends which ship drifted weights; each worker trains, sweeps and
 saves its cell into the store, so a matrix fill-in killed at any point

@@ -11,6 +11,8 @@ executes cells on the sweep engine, and a content-addressed on-disk
 from .spec import (
     FaultSpec, ScenarioSpec, available_fault_models, register_fault_model,
 )
+from .index import StoreIndex
+from .query import StoreQuery
 from .store import ResultStore, ResultStoreError
 from .runner import ScenarioRun, ScenarioRunner
 from .library import (
@@ -19,7 +21,7 @@ from .library import (
 
 __all__ = [
     "FaultSpec", "ScenarioSpec", "available_fault_models", "register_fault_model",
-    "ResultStore", "ResultStoreError",
+    "ResultStore", "ResultStoreError", "StoreIndex", "StoreQuery",
     "ScenarioRun", "ScenarioRunner",
     "Scenario", "available_scenarios", "get_scenario", "register_scenario",
 ]

@@ -14,6 +14,10 @@ Subcommands:
   utilisation);
 * ``report`` — tabulate every cell stored under ``--out``;
 * ``compare`` — align the stored cells of two or more grid scenarios;
+* ``query`` — filter the store's SQLite index (``--model``, ``--fault``,
+  ``--worst '<0.5'``, …) without opening any entry files;
+* ``migrate-store`` — upgrade a legacy flat store to the sharded layout
+  (entries move by rename; every canonical byte preserved);
 * ``gc`` — size accounting and garbage collection for long-lived stores.
 
 Everything prints human tables by default and JSON with ``--json``, so the
@@ -42,6 +46,7 @@ from ..utils.config import ExperimentConfig
 from .library import available_scenarios, get_scenario
 from .runner import ScenarioRunner
 from .spec import available_fault_models
+from .query import QUERY_FIELDS, SCORE_FIELDS, StoreQuery
 from .store import ResultStore, ResultStoreError
 
 __all__ = ["main"]
@@ -224,6 +229,48 @@ def _cmd_compare(args) -> int:
 
 
 # --------------------------------------------------------------------------- #
+def _cmd_query(args) -> int:
+    store = ResultStore(args.out)
+    filters = {field: getattr(args, field)
+               for field in (*QUERY_FIELDS, "name", *SCORE_FIELDS, "limit")
+               if getattr(args, field) is not None}
+    try:
+        store_query = StoreQuery(**filters)
+    except ValueError as error:
+        raise SystemExit(f"bad query: {error}") from error
+    rows = store.query(**filters)
+    payload = {"store": str(store.root),
+               "filters": store_query.describe(),
+               "matches": len(rows), "cells": rows}
+    described = ", ".join(f"{key}={value}" for key, value
+                          in payload["filters"].items()) or "no filters"
+    lines = [f"result store {store.root}: {len(rows)} cells match "
+             f"({described})",
+             f"  {'name':<28} {'model':<10} {'dataset':<8} {'fault':<22} "
+             f"{'clean':>6} {'worst':>6} {'best':>6}  hash"]
+    for row in rows:
+        lines.append(f"  {row['name']:<28} {row['model']:<10} "
+                     f"{row['dataset']:<8} {row['fault']:<22} "
+                     f"{_fmt(row['clean'])} {_fmt(row['worst'])} "
+                     f"{_fmt(row['best'])}  {row['hash'][:12]}")
+    _emit(payload, args.json, "\n".join(lines))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_migrate_store(args) -> int:
+    store = ResultStore(args.out)
+    result = store.migrate()
+    payload = {"store": str(store.root), **result}
+    _emit(payload, args.json,
+          f"result store {store.root}: moved {result['moved']} flat entries "
+          f"into sharded buckets ({result['duplicates']} flat duplicates "
+          f"dropped); index rebuilt over {result['entries']} entries "
+          f"({result['skipped']} unparsable skipped)")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 def _fmt_bytes(count: int) -> str:
     size = float(count)
     for unit in ("B", "KiB", "MiB"):
@@ -339,6 +386,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--seed", type=int, default=None)
     p_compare.add_argument("--json", action="store_true")
     p_compare.set_defaults(func=_cmd_compare)
+
+    p_query = sub.add_parser(
+        "query", help="filter the store's index (no entry files opened)")
+    p_query.add_argument("--out", default="results")
+    p_query.add_argument("--model", default=None,
+                         help="exact model registry name, e.g. preact18")
+    p_query.add_argument("--dataset", default=None)
+    p_query.add_argument("--fault", default=None,
+                         help="fault label, e.g. bitflip or "
+                              "composite:lognormal+stuckat")
+    p_query.add_argument("--scenario", default=None,
+                         help="scenario that produced the cell")
+    p_query.add_argument("--metric", default=None)
+    p_query.add_argument("--name", default=None,
+                         help="cell-name filter; * matches anything")
+    p_query.add_argument("--worst", default=None,
+                         help="bound on the worst per-σ mean score, "
+                              "e.g. '<0.5' or '>=0.9'")
+    p_query.add_argument("--best", default=None,
+                         help="bound on the best per-σ mean score")
+    p_query.add_argument("--clean", default=None,
+                         help="bound on the σ=0 mean score")
+    p_query.add_argument("--limit", type=int, default=None)
+    p_query.add_argument("--json", action="store_true")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_migrate = sub.add_parser(
+        "migrate-store",
+        help="move a legacy flat store into the sharded layout "
+             "(renames only; canonical bytes untouched; idempotent)")
+    p_migrate.add_argument("--out", default="results")
+    p_migrate.add_argument("--json", action="store_true")
+    p_migrate.set_defaults(func=_cmd_migrate_store)
 
     p_gc = sub.add_parser("gc", help="result-store size accounting + cleanup")
     p_gc.add_argument("--out", default="results")

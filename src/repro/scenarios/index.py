@@ -1,0 +1,245 @@
+"""SQLite index over a :class:`~repro.scenarios.store.ResultStore`.
+
+``<root>/index.sqlite`` holds one row per completed cell — hash, scenario,
+model, dataset, fault label, severity grid, creation stamp, byte size and
+worst/best/clean scores — so ``contains``/``missing`` route in O(1),
+``stats``/``gc`` aggregate in SQL instead of walking the tree, and the
+``query`` API filters rich predicates without opening a single JSON file.
+
+The index is a **pure cache**: ``report.json`` on disk stays the source of
+truth, and anything here can be rebuilt from the entries at any time
+(:meth:`ResultStore.reindex`).  That contract shapes the failure handling:
+
+* a corrupt or version-mismatched ``index.sqlite`` is discarded and
+  rebuilt, never trusted;
+* a failed index write never fails the save that triggered it — the entry
+  is already durable on disk, and a *missing* row only costs a slower
+  (disk-backed) lookup later, which self-heals the row;
+* concurrent writers are serialized behind SQLite's own locking (WAL mode
+  with a busy timeout), so service workers and cell fan-out processes can
+  share one store without coordinating.
+
+Connections are opened lazily and never cross a ``fork()``: every call
+site goes through :meth:`StoreIndex.connection`, which re-opens after a
+PID change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+
+__all__ = ["StoreIndex", "INDEX_SCHEMA_VERSION", "INDEX_FILE"]
+
+#: Bumped whenever the row layout changes; a mismatched ``index.sqlite``
+#: is wiped and rebuilt from disk (it is a cache, not a record).
+INDEX_SCHEMA_VERSION = 1
+
+INDEX_FILE = "index.sqlite"
+
+#: Columns of the ``entries`` table, in schema order.  ``sigmas`` is the
+#: severity grid as compact JSON; ``fault`` is the human label
+#: (``"lognormal"``, ``"composite:lognormal+stuckat"``, …); ``worst`` /
+#: ``best`` / ``clean`` summarize ``report.json``'s means track.
+COLUMNS = ("hash", "name", "scenario", "model", "dataset", "fault",
+           "metric", "sigmas", "trials", "seed", "created_at", "bytes",
+           "worst", "best", "clean")
+
+_SCHEMA = f"""
+CREATE TABLE IF NOT EXISTS entries (
+    hash       TEXT PRIMARY KEY,
+    name       TEXT NOT NULL,
+    scenario   TEXT,
+    model      TEXT NOT NULL,
+    dataset    TEXT NOT NULL,
+    fault      TEXT NOT NULL,
+    metric     TEXT NOT NULL,
+    sigmas     TEXT NOT NULL,
+    trials     INTEGER NOT NULL,
+    seed       INTEGER NOT NULL,
+    created_at TEXT NOT NULL,
+    bytes      INTEGER NOT NULL,
+    worst      REAL,
+    best       REAL,
+    clean      REAL
+);
+CREATE INDEX IF NOT EXISTS idx_entries_model    ON entries (model);
+CREATE INDEX IF NOT EXISTS idx_entries_dataset  ON entries (dataset);
+CREATE INDEX IF NOT EXISTS idx_entries_fault    ON entries (fault);
+CREATE INDEX IF NOT EXISTS idx_entries_scenario ON entries (scenario);
+CREATE INDEX IF NOT EXISTS idx_entries_created  ON entries (created_at);
+PRAGMA user_version = {INDEX_SCHEMA_VERSION};
+"""
+
+#: SQLite's historical bound variable limit is 999; stay under it when
+#: expanding ``IN (...)`` placeholders so the index works on old builds.
+_IN_CHUNK = 500
+
+
+class StoreIndex:
+    """One process's handle on ``<root>/index.sqlite``.
+
+    All methods raise :class:`sqlite3.Error` on a broken database file;
+    the owning :class:`~repro.scenarios.store.ResultStore` catches that,
+    deletes the file and rebuilds from disk — callers of the store never
+    see index corruption.
+    """
+
+    def __init__(self, path: str | Path, timeout: float = 30.0):
+        self.path = Path(path)
+        self.timeout = timeout
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+
+    # ------------------------------------------------------------------ #
+    def connection(self) -> sqlite3.Connection:
+        """The live connection, (re)opened lazily and never shared across
+        ``fork()`` — a child process gets its own handle."""
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(str(self.path), timeout=self.timeout)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={int(self.timeout * 1000)}")
+        version = conn.execute("PRAGMA user_version").fetchone()[0]
+        if version not in (0, INDEX_SCHEMA_VERSION):
+            # Stale schema: the cache is worthless, wipe it.  The store
+            # notices the resulting empty index and reindexes from disk.
+            conn.executescript("DROP TABLE IF EXISTS entries;")
+        conn.executescript(_SCHEMA)
+        conn.commit()
+        self._conn, self._pid = conn, os.getpid()
+        return conn
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+        self._conn = None
+        self._pid = None
+
+    def delete_file(self) -> None:
+        """Discard the cache entirely (corruption recovery)."""
+        self.close()
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                os.unlink(f"{self.path}{suffix}")
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Writes — each a single implicit transaction, serialized by SQLite.
+    # ------------------------------------------------------------------ #
+    def upsert(self, row: dict) -> None:
+        """Insert or refresh one entry row (keyed by ``hash``)."""
+        conn = self.connection()
+        conn.execute(
+            f"INSERT OR REPLACE INTO entries ({', '.join(COLUMNS)}) "
+            f"VALUES ({', '.join('?' for _ in COLUMNS)})",
+            tuple(row[column] for column in COLUMNS))
+        conn.commit()
+
+    def remove(self, spec_hash: str) -> None:
+        conn = self.connection()
+        conn.execute("DELETE FROM entries WHERE hash = ?", (spec_hash,))
+        conn.commit()
+
+    def replace_all(self, rows: list[dict]) -> None:
+        """Atomically swap the whole table for ``rows`` (reindex)."""
+        conn = self.connection()
+        with conn:  # one transaction: readers see old-or-new, never half
+            conn.execute("DELETE FROM entries")
+            conn.executemany(
+                f"INSERT OR REPLACE INTO entries ({', '.join(COLUMNS)}) "
+                f"VALUES ({', '.join('?' for _ in COLUMNS)})",
+                [tuple(row[column] for column in COLUMNS) for row in rows])
+
+    # ------------------------------------------------------------------ #
+    # Reads.
+    # ------------------------------------------------------------------ #
+    def has(self, spec_hash: str) -> bool:
+        cursor = self.connection().execute(
+            "SELECT 1 FROM entries WHERE hash = ?", (spec_hash,))
+        return cursor.fetchone() is not None
+
+    def count(self) -> int:
+        return self.connection().execute(
+            "SELECT COUNT(*) FROM entries").fetchone()[0]
+
+    def hashes(self) -> list[str]:
+        cursor = self.connection().execute(
+            "SELECT hash FROM entries ORDER BY hash")
+        return [row[0] for row in cursor.fetchall()]
+
+    def intersect(self, hashes: list[str]) -> set[str]:
+        """A set answering "is this one of ``hashes`` AND indexed?".
+
+        One query, not N stats.  For large batches (a matrix resume) it is
+        faster to pull the whole hash column (a covering-index scan) than
+        to expand thousands of placeholders — the result is then a
+        *superset* of the true intersection, which is equivalent for the
+        membership probes callers perform.
+        """
+        conn = self.connection()
+        if len(hashes) > _IN_CHUNK:
+            return {row[0] for row in
+                    conn.execute("SELECT hash FROM entries")}
+        present: set[str] = set()
+        for start in range(0, len(hashes), _IN_CHUNK):
+            chunk = hashes[start:start + _IN_CHUNK]
+            marks = ", ".join("?" for _ in chunk)
+            cursor = conn.execute(
+                f"SELECT hash FROM entries WHERE hash IN ({marks})", chunk)
+            present.update(row[0] for row in cursor.fetchall())
+        return present
+
+    def get(self, spec_hash: str) -> dict | None:
+        cursor = self.connection().execute(
+            f"SELECT {', '.join(COLUMNS)} FROM entries WHERE hash = ?",
+            (spec_hash,))
+        row = cursor.fetchone()
+        return None if row is None else self._to_dict(row)
+
+    def summary(self) -> dict:
+        """The aggregate half of ``store.stats()``, computed in SQL."""
+        conn = self.connection()
+        entries, total_bytes, oldest, newest = conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(bytes), 0), MIN(created_at), "
+            "MAX(created_at) FROM entries").fetchone()
+        by_scenario = {
+            (scenario if scenario else "(none)"): count
+            for scenario, count in conn.execute(
+                "SELECT scenario, COUNT(*) FROM entries GROUP BY scenario")}
+        return {"entries": entries, "total_bytes": total_bytes,
+                "oldest": oldest, "newest": newest,
+                "by_scenario": dict(sorted(by_scenario.items()))}
+
+    def ranked_by_created(self) -> list[tuple[str, str, int]]:
+        """``(created_at, hash, bytes)`` newest-first — gc's ranking, with
+        sizes from the index instead of per-entry tree walks."""
+        cursor = self.connection().execute(
+            "SELECT created_at, hash, bytes FROM entries "
+            "ORDER BY created_at DESC, hash DESC")
+        return list(cursor.fetchall())
+
+    def select(self, where_sql: str, params: list) -> list[dict]:
+        """Filtered rows in a stable (name, hash) order — the query API."""
+        sql = f"SELECT {', '.join(COLUMNS)} FROM entries"
+        if where_sql:
+            sql += f" WHERE {where_sql}"
+        sql += " ORDER BY name, hash"
+        cursor = self.connection().execute(sql, params)
+        return [self._to_dict(row) for row in cursor.fetchall()]
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _to_dict(row: tuple) -> dict:
+        record = dict(zip(COLUMNS, row))
+        record["sigmas"] = json.loads(record["sigmas"])
+        return record

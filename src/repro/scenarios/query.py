@@ -1,0 +1,105 @@
+"""Rich queries over the result-store index.
+
+:class:`StoreQuery` turns keyword filters into one SQL ``WHERE`` clause
+against ``index.sqlite`` — so ``store.query(model="preact18",
+fault="bitflip", worst="<0.5")`` (and ``python -m repro query``) answers
+from the index alone, without opening a single ``spec.json`` or
+``report.json``.  Score filters (``worst`` / ``best`` / ``clean``) accept
+comparison strings like ``"<0.5"`` or ``">=0.9"``; name filters accept
+``*`` wildcards.
+
+Because the index is a pure cache of the on-disk entries, query results
+are reproducible by construction: delete ``index.sqlite``, reindex, and
+the same filters return the same rows (``tests/test_store.py`` asserts
+exactly that).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["StoreQuery", "parse_bound", "QUERY_FIELDS", "SCORE_FIELDS"]
+
+#: Exact-match filters (index columns).
+QUERY_FIELDS = ("model", "dataset", "fault", "scenario", "metric")
+#: Comparison filters over the score summaries.
+SCORE_FIELDS = ("worst", "best", "clean")
+
+_BOUND = re.compile(r"^\s*(<=|>=|==|!=|<|>|=)\s*([-+0-9.eE]+)\s*$")
+_SQL_OPS = {"<": "<", "<=": "<=", ">": ">", ">=": ">=",
+            "=": "=", "==": "=", "!=": "!="}
+
+
+def parse_bound(text: "str | float | int") -> tuple[str, float]:
+    """``"<0.5"`` → ``("<", 0.5)``; a bare number means equality."""
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return "=", float(text)
+    match = _BOUND.match(str(text))
+    if match is None:
+        raise ValueError(
+            f"bad score bound {text!r}; expected e.g. '<0.5', '>=0.9' or a "
+            "bare number (operators: <, <=, >, >=, =, !=)")
+    op, value = match.groups()
+    try:
+        return _SQL_OPS[op], float(value)
+    except ValueError as error:
+        raise ValueError(f"bad score bound {text!r}: {error}") from error
+
+
+@dataclass
+class StoreQuery:
+    """One declarative filter set, compiled to SQL by :meth:`where`."""
+
+    model: str | None = None
+    dataset: str | None = None
+    fault: str | None = None
+    scenario: str | None = None
+    metric: str | None = None
+    #: Cell-name filter; ``*`` matches any run of characters.
+    name: str | None = None
+    #: Score bounds: comparison strings (``"<0.5"``) or bare numbers.
+    worst: "str | float | None" = None
+    best: "str | float | None" = None
+    clean: "str | float | None" = None
+    limit: int | None = None
+    _described: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if self.limit is not None and self.limit < 1:
+            raise ValueError("limit must be at least 1 (or None)")
+
+    def where(self) -> tuple[str, list]:
+        """``(where_sql, params)`` — empty SQL when nothing filters."""
+        clauses: list[str] = []
+        params: list = []
+        described: dict = {}
+        for column in QUERY_FIELDS:
+            value = getattr(self, column)
+            if value is None:
+                continue
+            clauses.append(f"{column} = ?")
+            params.append(str(value))
+            described[column] = str(value)
+        if self.name is not None:
+            clauses.append("name LIKE ? ESCAPE '\\'")
+            pattern = (str(self.name).replace("\\", "\\\\")
+                       .replace("%", "\\%").replace("_", "\\_")
+                       .replace("*", "%"))
+            params.append(pattern)
+            described["name"] = str(self.name)
+        for column in SCORE_FIELDS:
+            bound = getattr(self, column)
+            if bound is None:
+                continue
+            op, value = parse_bound(bound)
+            clauses.append(f"{column} {op} ?")
+            params.append(value)
+            described[column] = f"{op}{value:g}"
+        self._described = described
+        return " AND ".join(clauses), params
+
+    def describe(self) -> dict:
+        """The filters as plain data (CLI/JSON echo)."""
+        self.where()
+        return dict(self._described)

@@ -1,6 +1,9 @@
 """Content-addressed on-disk result store for scenario cells.
 
-Each completed cell lives in ``<root>/<spec_hash>/`` as three files:
+Each completed cell lives in ``<root>/<hh>/<spec_hash>/`` — a 256-bucket
+sharded layout keyed by the first two hex characters of the spec hash, so
+no single directory ever holds more than a sliver of a 100k+-cell matrix
+— as three files:
 
 * ``spec.json`` — the canonical :class:`~repro.scenarios.spec.ScenarioSpec`;
 * ``report.json`` — the *deterministic* part of the
@@ -13,23 +16,51 @@ Each completed cell lives in ``<root>/<spec_hash>/`` as three files:
 
 Splitting report from meta is what makes the determinism contract auditable
 on disk: ``diff`` two stores produced with ``workers=0`` and ``workers=2``
-and only ``meta.json`` differs.  Writes are atomic (temp directory +
-rename), re-runs of a finished cell are skipped by
-:meth:`ResultStore.contains`, and every read re-validates the entry —
+and only ``meta.json`` differs.  Legacy flat stores (``<root>/<spec_hash>/``,
+the pre-sharding layout) are read through transparently and upgraded in
+place by :meth:`ResultStore.migrate` (``python -m repro migrate-store``);
+migration moves entries by rename, so every canonical byte is preserved.
+
+Alongside the entries sits ``index.sqlite``
+(:class:`~repro.scenarios.index.StoreIndex`): one row per cell with its
+hash, scenario, model, dataset, fault label, severity grid, creation
+stamp, byte size and worst/best/clean scores.  The index is a **pure
+cache** — ``report.json`` stays the source of truth, and
+:meth:`ResultStore.reindex` rebuilds identical rows from disk after
+corruption, a schema bump, or hand-edits — but it is what makes the store
+scale: ``contains``/``missing`` route in O(1) instead of stat'ing files,
+``stats``/``gc`` aggregate in SQL instead of walking the tree, and
+:meth:`ResultStore.query` answers rich filters (``model=``, ``fault=``,
+``worst="<0.5"``) without opening a single JSON file.
+
+Writes are concurrent-writer safe: entries are staged in a unique
+directory and published with one atomic rename (no remove-then-rename
+crash window), duplicate saves resolve **first-writer-wins** (the losing
+writer discards its staging bytes — content addressing makes both reports
+byte-identical anyway), and index writes serialize behind SQLite's WAL
+locking with a busy-timeout retry.  Re-runs of a finished cell are skipped
+by :meth:`ResultStore.contains`, and every read re-validates the entry —
 corruption raises a labeled :class:`ResultStoreError` instead of feeding a
 half-written report into a comparison.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import shutil
+import sqlite3
 import time
+import uuid
+import warnings
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from ..evaluation.sweep import SweepReport
+from ..telemetry import current
+from .index import INDEX_FILE, StoreIndex
+from .query import StoreQuery
 from .spec import ScenarioSpec
 
 __all__ = ["ResultStore", "ResultStoreError", "VOLATILE_REPORT_FIELDS"]
@@ -43,6 +74,17 @@ VOLATILE_REPORT_FIELDS = SweepReport.VOLATILE_FIELDS
 _SPEC_FILE = "spec.json"
 _REPORT_FILE = "report.json"
 _META_FILE = "meta.json"
+_ENTRY_FILES = (_SPEC_FILE, _REPORT_FILE, _META_FILE)
+
+#: One canonical timestamp format for every stamp the store emits — UTC
+#: with an explicit ``+0000`` offset, so stamps written on any machine (or
+#: recovered from an mtime) sort consistently against each other.
+_STAMP_FORMAT = "%Y-%m-%dT%H:%M:%S+0000"
+
+
+def _utc_stamp(epoch_seconds: float | None = None) -> str:
+    when = time.gmtime() if epoch_seconds is None else time.gmtime(epoch_seconds)
+    return time.strftime(_STAMP_FORMAT, when)
 
 
 class ResultStoreError(RuntimeError):
@@ -54,31 +96,68 @@ def canonical_report_dict(report: SweepReport) -> dict:
     return report.canonical_dict()
 
 
+def _fault_label(fault: dict) -> str:
+    """Human fault label from a raw ``spec.json`` fault dict.
+
+    Mirrors :meth:`FaultSpec.describe` without constructing (and
+    validating) a ``FaultSpec`` — reindexing 100k entries must not pay
+    registry validation per row, and must tolerate entries written by
+    newer fault registries than this process knows about.
+    """
+    kind = str(fault.get("kind", "lognormal"))
+    if kind == "composite":
+        return "composite:" + "+".join(
+            _fault_label(component) for component in fault.get("components", ()))
+    return kind
+
+
 class ResultStore:
     """Spec-hash keyed store of completed sweep reports.
 
     Parameters
     ----------
     root:
-        Directory holding one subdirectory per completed cell; created on
-        first write.
+        Directory holding the sharded entry tree and ``index.sqlite``;
+        created on first write.  A legacy flat store is readable as-is and
+        indexed automatically the first time it is enumerated.
     """
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
+        self._index = StoreIndex(self.root / INDEX_FILE)
 
     # ------------------------------------------------------------------ #
+    # Entry location: sharded <root>/<hh>/<hash>/ with legacy flat
+    # read-through.  Routing is pure hash arithmetic — O(1), no index, no
+    # directory scan.
+    # ------------------------------------------------------------------ #
+    def shard_dir(self, spec_hash: str) -> Path:
+        return self.root / spec_hash[:2]
+
+    def entry_dir(self, spec_hash: str) -> Path:
+        """Where this hash's entry lives (or would live, for a writer).
+
+        Prefers a complete sharded entry, then a complete legacy flat one,
+        then whichever exists at all; defaults to the sharded home.
+        """
+        sharded = self.shard_dir(spec_hash) / spec_hash
+        flat = self.root / spec_hash
+        if self._complete(sharded):
+            return sharded
+        if self._complete(flat):
+            return flat
+        if sharded.is_dir():
+            return sharded
+        if flat.is_dir():
+            return flat
+        return sharded
+
     def path_for(self, spec: ScenarioSpec) -> Path:
-        return self.root / spec.spec_hash()
+        return self.entry_dir(spec.spec_hash())
 
-    def contains(self, spec: ScenarioSpec) -> bool:
-        """True when a complete entry exists for this spec's hash."""
-        entry = self.path_for(spec)
-        return all((entry / name).is_file()
-                   for name in (_SPEC_FILE, _REPORT_FILE, _META_FILE))
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.hashes())
+    @staticmethod
+    def _complete(entry: Path) -> bool:
+        return all((entry / name).is_file() for name in _ENTRY_FILES)
 
     @staticmethod
     def _is_entry_name(name: str) -> bool:
@@ -87,40 +166,339 @@ class ResultStore:
         # an entry and must never surface through hashes()/entries().
         return len(name) == 64 and all(c in "0123456789abcdef" for c in name)
 
-    def hashes(self) -> Iterator[str]:
-        """Hashes of every (complete-looking) entry on disk."""
+    @staticmethod
+    def _is_shard_name(name: str) -> bool:
+        return len(name) == 2 and all(c in "0123456789abcdef" for c in name)
+
+    def _scan_disk(self) -> Iterator[tuple[str, Path]]:
+        """``(hash, entry_dir)`` for every complete entry, both layouts.
+
+        The slow path: one directory walk, used only by :meth:`reindex`
+        and as the fallback when the index is unusable.  Complete sharded
+        entries shadow flat duplicates of the same hash.
+        """
         if not self.root.is_dir():
             return
-        for entry in sorted(self.root.iterdir()):
-            if (entry.is_dir() and self._is_entry_name(entry.name)
-                    and (entry / _SPEC_FILE).is_file()):
-                yield entry.name
+        seen: set[str] = set()
+        for item in sorted(self.root.iterdir()):
+            if not item.is_dir():
+                continue
+            if self._is_shard_name(item.name):
+                for entry in sorted(item.iterdir()):
+                    if (entry.is_dir() and self._is_entry_name(entry.name)
+                            and self._complete(entry)):
+                        seen.add(entry.name)
+                        yield entry.name, entry
+            elif (self._is_entry_name(item.name) and item.name not in seen
+                    and self._complete(item)):
+                yield item.name, item
+
+    def _disk_has_entries(self) -> bool:
+        for _ in self._scan_disk():
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Index plumbing.  Reads recover from a corrupt index file by
+    # rebuilding it from disk; writes are best-effort (the entry is
+    # already durable — a missing row self-heals on the next lookup).
+    # ------------------------------------------------------------------ #
+    def _index_read(self, op):
+        try:
+            return op(self._index)
+        except sqlite3.Error:
+            self._rebuild_index()
+            return op(self._index)
+
+    def _index_write(self, op) -> None:
+        try:
+            op(self._index)
+        except sqlite3.Error as error:
+            warnings.warn(f"result-store index write skipped ({error}); "
+                          "the row will self-heal on the next lookup "
+                          "or reindex()", RuntimeWarning, stacklevel=3)
+
+    def _rebuild_index(self) -> None:
+        self._index.delete_file()
+        self.reindex()
+
+    def _ensure_indexed(self) -> None:
+        """Reindex once when the index is empty but entries exist on disk
+        (legacy store, deleted/corrupt index, or schema bump)."""
+        def check(index: StoreIndex) -> bool:
+            return index.count() == 0
+
+        if self._index_read(check) and self._disk_has_entries():
+            self.reindex()
+
+    def reindex(self) -> dict:
+        """Rebuild ``index.sqlite`` from the entries on disk.
+
+        The index is a pure cache, so this is always safe and always
+        authoritative: rows for vanished entries disappear, hand-added
+        entries appear, and query results afterwards are identical to an
+        index maintained incrementally.  Unparsable entries are skipped
+        (``load_entry`` is the validator that reports them loudly).
+        Returns ``{"entries", "skipped"}``.
+        """
+        rows: list[dict] = []
+        skipped = 0
+        for spec_hash, entry in self._scan_disk():
+            row = self._row_from_entry(spec_hash, entry)
+            if row is None:
+                skipped += 1
+                continue
+            rows.append(row)
+        try:
+            self._index.replace_all(rows)
+        except sqlite3.Error:
+            # The file itself is broken — recreate it once, then give up
+            # loudly (a store with an unwritable index still *works*, every
+            # lookup just falls back to disk).
+            self._index.delete_file()
+            self._index.replace_all(rows)
+        current().add("store_reindexes")
+        return {"entries": len(rows), "skipped": skipped}
+
+    # ------------------------------------------------------------------ #
+    # Index row construction.
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _score_summary(report: dict) -> tuple:
+        means = report.get("means") or []
+        sigmas = report.get("sigmas") or []
+        try:
+            worst = min(float(m) for m in means) if means else None
+            best = max(float(m) for m in means) if means else None
+            clean = None
+            for sigma, mean in zip(sigmas, means):
+                if float(sigma) == 0.0:
+                    clean = float(mean)
+                    break
+        except (TypeError, ValueError):
+            return None, None, None
+        return worst, best, clean
+
+    def _row_from_payloads(self, spec_hash: str, spec: dict, report: dict,
+                           meta: dict, size: int) -> dict:
+        worst, best, clean = self._score_summary(report)
+        scenario = meta.get("scenario")
+        return {
+            "hash": spec_hash,
+            "name": str(spec.get("name", "")),
+            "scenario": None if scenario is None else str(scenario),
+            "model": str(spec.get("model", "")),
+            "dataset": str(spec.get("dataset", "")),
+            "fault": _fault_label(spec.get("fault") or {}),
+            "metric": str(spec.get("metric", "accuracy")),
+            "sigmas": json.dumps(list(spec.get("sigmas", ())),
+                                 separators=(",", ":")),
+            "trials": int(spec.get("trials", 0)),
+            "seed": int(spec.get("seed", 0)),
+            "created_at": str(meta.get("created_at")
+                              or self._entry_created_at(spec_hash, meta=meta)),
+            "bytes": int(size),
+            "worst": worst,
+            "best": best,
+            "clean": clean,
+        }
+
+    def _row_from_entry(self, spec_hash: str, entry: Path) -> dict | None:
+        """Index row from an on-disk entry; ``None`` when unparsable."""
+        try:
+            payloads = {}
+            size = 0
+            for name in _ENTRY_FILES:
+                raw = (entry / name).read_bytes()
+                size += len(raw)
+                payloads[name] = json.loads(raw)
+            if not all(isinstance(p, dict) for p in payloads.values()):
+                return None
+            return self._row_from_payloads(
+                spec_hash, payloads[_SPEC_FILE], payloads[_REPORT_FILE],
+                payloads[_META_FILE], size)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError,
+                TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Membership: O(1) through the index, disk fallback that self-heals
+    # the missing row.
+    # ------------------------------------------------------------------ #
+    def contains(self, spec: ScenarioSpec) -> bool:
+        """True when a complete entry exists for this spec's hash."""
+        return self.contains_hash(spec.spec_hash())
+
+    def contains_hash(self, spec_hash: str) -> bool:
+        """O(1) membership by hash.
+
+        An index hit answers without touching the filesystem — the index
+        is trusted as a cache of "a complete entry was saved here".  A row
+        can go stale only through out-of-band deletion; a failed
+        :meth:`load_entry` evicts it, and :meth:`reindex` restores ground
+        truth wholesale.  Misses fall back to a disk check (legacy flat
+        stores, index-less stores) and self-heal the index on success.
+        """
+        try:
+            if self._index.has(spec_hash):
+                current().add("store_index_hits")
+                return True
+        except sqlite3.Error:
+            pass  # broken index: the disk check below still answers
+        entry = self.shard_dir(spec_hash) / spec_hash
+        if not self._complete(entry):
+            entry = self.root / spec_hash
+            if not self._complete(entry):
+                return False
+        row = self._row_from_entry(spec_hash, entry)
+        if row is not None:
+            self._index_write(lambda index: index.upsert(row))
+        return True
+
+    def missing(self, specs: Sequence[ScenarioSpec]) -> list[ScenarioSpec]:
+        """The subset of ``specs`` with no stored entry, in input order.
+
+        The batch form of :meth:`contains` — one index query answers the
+        whole matrix, which is what makes a 100k-cell resume O(matrix)
+        instead of O(matrix × stat calls).
+        """
+        hashes = [spec.spec_hash() for spec in specs]
+        self._ensure_indexed()
+        try:
+            present = self._index.intersect(hashes)
+        except sqlite3.Error:
+            present = set()
+        misses = [(spec, spec_hash) for spec, spec_hash
+                  in zip(specs, hashes) if spec_hash not in present]
+        if len(misses) < len(specs):
+            current().add("store_index_hits", len(specs) - len(misses))
+        return [spec for spec, spec_hash in misses
+                if not self.contains_hash(spec_hash)]
+
+    def missing_hashes(self, hashes: Sequence[str]) -> list[str]:
+        """Hash-level :meth:`missing` (benchmarks, services)."""
+        self._ensure_indexed()
+        try:
+            present = self._index.intersect(list(hashes))
+        except sqlite3.Error:
+            present = set()
+        misses = [spec_hash for spec_hash in hashes
+                  if spec_hash not in present]
+        if len(misses) < len(hashes):
+            current().add("store_index_hits", len(hashes) - len(misses))
+        return [spec_hash for spec_hash in misses
+                if not self.contains_hash(spec_hash)]
+
+    def __len__(self) -> int:
+        self._ensure_indexed()
+        try:
+            return self._index.count()
+        except sqlite3.Error:
+            return sum(1 for _ in self._scan_disk())
+
+    def hashes(self) -> Iterator[str]:
+        """Hashes of every complete entry, in sorted order.
+
+        Served from the index (rebuilt from disk first when it is empty or
+        broken while entries exist).  Like :meth:`contains`, an entry
+        counts only when all three files were present — partial or corrupt
+        directories never surface here.
+        """
+        self._ensure_indexed()
+        try:
+            yield from self._index.hashes()
+        except sqlite3.Error:
+            yield from (spec_hash for spec_hash, _ in self._scan_disk())
 
     # ------------------------------------------------------------------ #
     def save(self, spec: ScenarioSpec, report: SweepReport,
              metadata: dict | None = None) -> Path:
-        """Write one completed cell atomically; returns the entry path."""
-        entry = self.path_for(spec)
-        self.root.mkdir(parents=True, exist_ok=True)
-        staging = entry.with_name(entry.name + f".tmp-{os.getpid()}")
-        if staging.exists():
-            shutil.rmtree(staging)
-        staging.mkdir(parents=True)
+        """Write one completed cell atomically; returns the entry path.
+
+        Safe under concurrent writers: the entry is staged under a unique
+        name and published with a single atomic rename — there is no
+        window in which a previously complete entry is absent (the old
+        remove-then-rename sequence could lose the entry to a crash
+        between the two calls).  When another writer publishes the same
+        hash first, **the first writer wins**: this save discards its
+        staging bytes and returns the existing entry (content addressing
+        makes both reports byte-identical; only volatile meta differed).
+        """
+        spec_hash = spec.spec_hash()
+        shard = self.shard_dir(spec_hash)
+        shard.mkdir(parents=True, exist_ok=True)
+        token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        staging = shard / f"{spec_hash}.tmp-{token}"
+        staging.mkdir()
         report_dict = report.as_dict()
         meta = dict(metadata or {})
-        meta.setdefault("created_at", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+        meta.setdefault("created_at", _utc_stamp())
         meta["volatile"] = {key: report_dict.get(key)
                            for key in VOLATILE_REPORT_FIELDS}
-        (staging / _SPEC_FILE).write_text(spec.to_json(indent=2) + "\n")
-        (staging / _REPORT_FILE).write_text(
-            json.dumps(canonical_report_dict(report), sort_keys=True, indent=2)
-            + "\n")
-        (staging / _META_FILE).write_text(
-            json.dumps(meta, sort_keys=True, indent=2) + "\n")
-        if entry.exists():
-            shutil.rmtree(entry)
-        staging.rename(entry)
-        return entry
+        spec_payload = spec.to_dict()
+        report_payload = canonical_report_dict(report)
+        blobs = {
+            _SPEC_FILE: spec.to_json(indent=2) + "\n",
+            _REPORT_FILE: json.dumps(report_payload, sort_keys=True,
+                                     indent=2) + "\n",
+            _META_FILE: json.dumps(meta, sort_keys=True, indent=2) + "\n",
+        }
+        for name, text in blobs.items():
+            (staging / name).write_text(text)
+        entry = shard / spec_hash
+        try:
+            published = self._publish(staging, entry, spec_hash)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        if published is None:
+            # Lost the duplicate-save race: index the winner's entry.
+            shutil.rmtree(staging, ignore_errors=True)
+            winner = self.entry_dir(spec_hash)
+            row = self._row_from_entry(spec_hash, winner)
+            if row is not None:
+                self._index_write(lambda index: index.upsert(row))
+            return winner
+        size = sum(len(text.encode()) for text in blobs.values())
+        row = self._row_from_payloads(spec_hash, spec_payload,
+                                      report_payload, meta, size)
+        self._index_write(lambda index: index.upsert(row))
+        return published
+
+    def _publish(self, staging: Path, entry: Path,
+                 spec_hash: str) -> Path | None:
+        """Atomically move ``staging`` into place; ``None`` = lost the race.
+
+        ``os.replace`` on a directory succeeds only when the target is
+        absent (or an empty directory), which is exactly the arbitration
+        needed: the first writer's rename lands, every later writer gets
+        ``ENOTEMPTY``/``EEXIST`` and backs off.  A *partial* squatter
+        (crash leftover that never became a complete entry) is swapped
+        away by rename first, so it can never block real results.
+        """
+        for _ in range(16):
+            try:
+                os.replace(staging, entry)
+                return entry
+            except OSError as error:
+                if error.errno not in (errno.ENOTEMPTY, errno.EEXIST,
+                                       errno.ENOTDIR):
+                    raise
+            existing = self.entry_dir(spec_hash)
+            if self._complete(existing):
+                return None  # first writer wins
+            doomed = entry.with_name(
+                f"{entry.name}.tmp-doomed-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+            try:
+                os.replace(entry, doomed)
+            except FileNotFoundError:
+                continue  # squatter vanished; retry the publish
+            except OSError:
+                continue  # someone else is swapping it; retry
+            shutil.rmtree(doomed, ignore_errors=True)
+        raise ResultStoreError(
+            f"could not publish entry {spec_hash[:16]}… under {self.root}: "
+            "the entry directory stayed contended across 16 attempts")
 
     # ------------------------------------------------------------------ #
     def load(self, spec: ScenarioSpec) -> SweepReport:
@@ -128,21 +506,32 @@ class ResultStore:
         return self.load_entry(spec.spec_hash())[1]
 
     def load_entry(self, spec_hash: str) -> tuple[ScenarioSpec, SweepReport, dict]:
-        """Load and validate one entry by hash: ``(spec, report, meta)``."""
-        entry = self.root / spec_hash
+        """Load and validate one entry by hash: ``(spec, report, meta)``.
+
+        Routing is O(1): the shard is derived from the hash (with a legacy
+        flat fallback), never looked up.  A missing or incomplete entry
+        evicts any stale index row on the way out, so a hand-deleted entry
+        stops answering :meth:`contains` after its first failed load.
+        """
+        entry = self.entry_dir(spec_hash)
 
         def corrupted(reason: str) -> ResultStoreError:
             return ResultStoreError(
                 f"result store entry {spec_hash[:16]}… at {entry} is "
                 f"corrupted: {reason}")
 
+        def evict() -> None:
+            self._index_write(lambda index: index.remove(spec_hash))
+
         if not entry.is_dir():
+            evict()
             raise ResultStoreError(
                 f"result store has no entry {spec_hash[:16]}… under {self.root}")
         payloads = {}
-        for name in (_SPEC_FILE, _REPORT_FILE, _META_FILE):
+        for name in _ENTRY_FILES:
             path = entry / name
             if not path.is_file():
+                evict()
                 raise corrupted(f"missing {name}")
             try:
                 payloads[name] = json.loads(path.read_text())
@@ -177,13 +566,71 @@ class ResultStore:
 
     def entries(self) -> Iterator[tuple[ScenarioSpec, SweepReport, dict]]:
         """Iterate every stored cell, validating each on the way out."""
-        for spec_hash in self.hashes():
+        for spec_hash in list(self.hashes()):
             yield self.load_entry(spec_hash)
+
+    # ------------------------------------------------------------------ #
+    # Rich queries — answered entirely from the index.
+    # ------------------------------------------------------------------ #
+    def query(self, **filters) -> list[dict]:
+        """Filtered index rows, no JSON files opened.
+
+        Keyword filters: exact matches ``model=``, ``dataset=``,
+        ``fault=``, ``scenario=``, ``metric=``; wildcard ``name=`` (``*``
+        matches anything); score bounds ``worst=``/``best=``/``clean=``
+        as comparison strings (``"<0.5"``, ``">=0.9"``) or bare numbers;
+        ``limit=``.  Rows come back in stable ``(name, hash)`` order with
+        the columns of :data:`repro.scenarios.index.COLUMNS` (``sigmas``
+        decoded back to a list) — deleting ``index.sqlite`` and
+        reindexing returns identical results.
+        """
+        store_query = StoreQuery(**filters)
+        where_sql, params = store_query.where()
+        self._ensure_indexed()
+        rows = self._index_read(
+            lambda index: index.select(where_sql, params))
+        if store_query.limit is not None:
+            rows = rows[:store_query.limit]
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Migration: legacy flat layout -> sharded layout, by rename.
+    # ------------------------------------------------------------------ #
+    def migrate(self) -> dict:
+        """Move flat ``<root>/<hash>/`` entries into their shard buckets.
+
+        Entries move by ``os.rename`` — same filesystem, same inode, every
+        canonical byte untouched — and the index is rebuilt afterwards.
+        A hash that already has a complete sharded entry keeps it
+        (first-writer-wins, as with concurrent saves) and the flat
+        duplicate is dropped.  Idempotent: a second run moves nothing.
+        Returns ``{"moved", "duplicates", "entries", "skipped"}``.
+        """
+        moved = duplicates = 0
+        if self.root.is_dir():
+            for item in sorted(self.root.iterdir()):
+                if not (item.is_dir() and self._is_entry_name(item.name)):
+                    continue
+                target = self.shard_dir(item.name) / item.name
+                if self._complete(target):
+                    shutil.rmtree(item)
+                    duplicates += 1
+                    continue
+                target.parent.mkdir(parents=True, exist_ok=True)
+                if target.is_dir():
+                    # Partial sharded squatter: the complete flat entry is
+                    # the real result — swap the squatter away.
+                    shutil.rmtree(target)
+                os.rename(item, target)
+                moved += 1
+        result = self.reindex()
+        return {"moved": moved, "duplicates": duplicates, **result}
 
     # ------------------------------------------------------------------ #
     # Size accounting and garbage collection.  Long-lived stores (CI
     # caches, shared result dirs) accumulate cells and crash-leftover
-    # staging directories forever otherwise.
+    # staging directories forever otherwise; sizes and stamps come from
+    # the index, so neither stats() nor gc() walks entry trees.
     # ------------------------------------------------------------------ #
     @staticmethod
     def _tree_bytes(path: Path) -> int:
@@ -192,7 +639,8 @@ class ResultStore:
 
     def _read_meta(self, spec_hash: str) -> dict | None:
         try:
-            return json.loads((self.root / spec_hash / _META_FILE).read_text())
+            return json.loads(
+                (self.entry_dir(spec_hash) / _META_FILE).read_text())
         except (OSError, json.JSONDecodeError):
             return None
 
@@ -200,52 +648,68 @@ class ResultStore:
                           meta: dict | None = None) -> str:
         """Sortable creation stamp: meta.json's record, mtime as fallback.
 
-        Callers that already hold the entry's parsed ``meta.json`` pass it
-        in to avoid a second read.
+        The fallback is rendered in the same canonical UTC format as
+        written stamps (a ``time.localtime`` rendering would sort
+        differently on differently-zoned machines).  Callers that already
+        hold the entry's parsed ``meta.json`` pass it in to avoid a second
+        read.
         """
         if meta is None:
             meta = self._read_meta(spec_hash)
         if meta is not None and "created_at" in meta:
             return str(meta["created_at"])
-        entry = self.root / spec_hash
-        return time.strftime("%Y-%m-%dT%H:%M:%S%z",
-                             time.localtime(entry.stat().st_mtime))
+        entry = self.entry_dir(spec_hash)
+        try:
+            return _utc_stamp(entry.stat().st_mtime)
+        except OSError:
+            return _utc_stamp(0)
 
     def _staging_dirs(self) -> list[Path]:
+        """Crash-leftover ``*.tmp-*`` dirs, flat root and shard buckets.
+
+        A name scan over the root plus 256 buckets: the ``.tmp-`` name
+        check runs *before* any ``stat``, so complete entries — hex names,
+        which can never contain ``.tmp-`` — cost nothing.  Directory
+        listings only, no per-entry tree walks.
+        """
         if not self.root.is_dir():
             return []
-        return [item for item in sorted(self.root.iterdir())
-                if item.is_dir() and not self._is_entry_name(item.name)
-                and ".tmp-" in item.name]
+        found = []
+        buckets = []
+        with os.scandir(self.root) as items:
+            for item in items:
+                if ".tmp-" in item.name and item.is_dir():
+                    found.append(Path(item.path))
+                elif self._is_shard_name(item.name) and item.is_dir():
+                    buckets.append(item.path)
+        for bucket in buckets:
+            with os.scandir(bucket) as items:
+                found.extend(Path(item.path) for item in items
+                             if ".tmp-" in item.name and item.is_dir())
+        return sorted(found)
 
     def stats(self) -> dict:
         """Size accounting: entries, bytes, stamps, per-scenario counts.
 
-        Pure bookkeeping (one meta read and one size walk per entry, no
-        validation, nothing loaded into memory), so it stays cheap on
-        stores with thousands of cells.
+        Aggregates come straight from the index (one SQL query), so this
+        stays flat-cost on stores with hundreds of thousands of cells;
+        only stale staging directories — normally zero — are walked.
         """
-        entries = []
-        by_scenario: dict = {}
-        for spec_hash in self.hashes():
-            entry = self.root / spec_hash
-            meta = self._read_meta(spec_hash)
-            scenario = ("(unreadable)" if meta is None
-                        else meta.get("scenario") or "(none)")
-            created = self._entry_created_at(spec_hash, meta=meta)
-            entries.append((created, spec_hash, self._tree_bytes(entry)))
-            by_scenario[scenario] = by_scenario.get(scenario, 0) + 1
+        self._ensure_indexed()
+        summary = self._index_read(lambda index: index.summary())
         staging = self._staging_dirs()
         return {
             "root": str(self.root),
-            "entries": len(entries),
-            "total_bytes": sum(size for _, _, size in entries),
-            "oldest": min((stamp for stamp, _, _ in entries), default=None),
-            "newest": max((stamp for stamp, _, _ in entries), default=None),
-            "by_scenario": dict(sorted(by_scenario.items())),
+            "entries": summary["entries"],
+            "total_bytes": summary["total_bytes"],
+            "oldest": summary["oldest"],
+            "newest": summary["newest"],
+            "by_scenario": summary["by_scenario"],
             "stale_staging_dirs": len(staging),
             "stale_staging_bytes": sum(self._tree_bytes(item)
                                        for item in staging),
+            "index": {"path": str(self._index.path),
+                      "entries": summary["entries"]},
         }
 
     def gc(self, keep_latest: int | None = None,
@@ -254,34 +718,35 @@ class ResultStore:
 
         ``keep_latest=N`` keeps the ``N`` most recently created complete
         entries (by ``meta.json`` stamp, hash as tie-break) and removes the
-        rest; ``None`` touches no complete entry.  Crash-leftover
-        ``<hash>.tmp-<pid>`` staging directories are always collected —
-        they were never visible through :meth:`hashes` anyway.
-        ``dry_run=True`` reports what would be removed without deleting.
-        Returns ``{"removed_entries", "removed_staging", "bytes_freed",
-        "entries_kept", "dry_run"}``.
+        rest; ``None`` touches no complete entry.  Ranking and sizes come
+        from the index — edit metadata by hand and :meth:`reindex` before
+        trusting gc's ordering.  Crash-leftover ``<hash>.tmp-*`` staging
+        directories are always collected — they were never visible through
+        :meth:`hashes` anyway.  ``dry_run=True`` reports what would be
+        removed without deleting.  Returns ``{"removed_entries",
+        "removed_staging", "bytes_freed", "entries_kept", "dry_run"}``.
         """
         if keep_latest is not None and keep_latest < 0:
             raise ValueError("keep_latest must be non-negative (or None)")
-        ranked = sorted(
-            ((self._entry_created_at(spec_hash), spec_hash)
-             for spec_hash in self.hashes()), reverse=True)
+        self._ensure_indexed()
+        ranked = self._index_read(lambda index: index.ranked_by_created())
         doomed = [] if keep_latest is None else ranked[keep_latest:]
         staging = self._staging_dirs()
         bytes_freed = 0
         removed_entries = []
-        for _, spec_hash in doomed:
-            entry = self.root / spec_hash
-            bytes_freed += self._tree_bytes(entry)
+        for _, spec_hash, size in doomed:
+            entry = self.entry_dir(spec_hash)
+            bytes_freed += size
             removed_entries.append(spec_hash)
             if not dry_run:
-                shutil.rmtree(entry)
+                shutil.rmtree(entry, ignore_errors=True)
+                self._index_write(lambda index: index.remove(spec_hash))
         removed_staging = []
         for item in staging:
             bytes_freed += self._tree_bytes(item)
             removed_staging.append(item.name)
             if not dry_run:
-                shutil.rmtree(item)
+                shutil.rmtree(item, ignore_errors=True)
         return {
             "removed_entries": removed_entries,
             "removed_staging": removed_staging,

@@ -196,9 +196,11 @@ class TestResultStore:
     def test_missing_file_raises(self, tmp_path):
         spec, store, _ = self._stored(tmp_path)
         (store.path_for(spec) / "meta.json").unlink()
-        assert not store.contains(spec)
         with pytest.raises(ResultStoreError, match="missing meta.json"):
             store.load(spec)
+        # The failed load evicted the stale index row, so the hand-broken
+        # entry stops answering membership checks.
+        assert not store.contains(spec)
 
     def test_missing_entry_raises(self, tmp_path):
         store = ResultStore(tmp_path / "empty")
@@ -374,7 +376,7 @@ class TestCLI:
         assert main(["run", "smoke", "--out", out]) == 0
         store = ResultStore(out)
         entry = next(iter(store.hashes()))
-        (store.root / entry / "report.json").write_text("{not json")
+        (store.entry_dir(entry) / "report.json").write_text("{not json")
         assert main(["report", "--out", out]) == 2
         assert "corrupted" in capsys.readouterr().err
 
@@ -484,8 +486,8 @@ class TestCellFanOut:
             specs, backend="process", cell_workers=2)
         assert [run.spec.name for run in runs] == [s.name for s in specs]
         for spec in specs:
-            a = (serial_store.root / spec.spec_hash() / "report.json").read_bytes()
-            b = (fanned_store.root / spec.spec_hash() / "report.json").read_bytes()
+            a = (serial_store.path_for(spec) / "report.json").read_bytes()
+            b = (fanned_store.path_for(spec) / "report.json").read_bytes()
             assert a == b
 
     def test_interrupted_fill_in_resumes_without_recompute(self, tmp_path):
@@ -536,12 +538,14 @@ class TestStoreGC:
 
     def test_gc_keep_latest_removes_oldest(self, tmp_path):
         store = self._filled(tmp_path)
-        # Make creation order unambiguous (the stamp has 1s resolution).
+        # Make creation order unambiguous (the stamp has 1s resolution);
+        # gc ranks from the index, so hand-edited stamps need a reindex.
         for index, spec_hash in enumerate(sorted(store.hashes())):
-            meta_path = store.root / spec_hash / "meta.json"
+            meta_path = store.entry_dir(spec_hash) / "meta.json"
             meta = json.loads(meta_path.read_text())
             meta["created_at"] = f"2026-01-0{index + 1}T00:00:00+0000"
             meta_path.write_text(json.dumps(meta))
+        store.reindex()
         ordered = sorted(store.hashes())
         result = store.gc(keep_latest=1)
         assert result["entries_kept"] == 1
@@ -606,8 +610,8 @@ class TestSchedulingKnobInvariance:
         capsys.readouterr()
         store = ResultStore(plain)
         entry = next(iter(store.hashes()))
-        a = (ResultStore(plain).root / entry / "report.json").read_bytes()
-        b = (ResultStore(shm).root / entry / "report.json").read_bytes()
+        a = (ResultStore(plain).entry_dir(entry) / "report.json").read_bytes()
+        b = (ResultStore(shm).entry_dir(entry) / "report.json").read_bytes()
         assert a == b
 
 
@@ -625,7 +629,7 @@ class TestCellFanOutOverrides:
         runner.run_specs(specs, backend="process", cell_workers=2)
         for spec in specs:
             meta = json.loads(
-                (store.root / spec.spec_hash() / "meta.json").read_text())
+                (store.path_for(spec) / "meta.json").read_text())
             assert meta["volatile"]["max_chunk_trials"] == 1
             assert meta["volatile"]["peak_resident_trials"] == 1
 

@@ -1,0 +1,324 @@
+"""Scale and safety tests for the sharded, indexed ResultStore.
+
+Covers the storage layer on its own terms — sharded layout, legacy flat
+read-through, `migrate()`, the SQLite index as a pure cache (delete or
+corrupt it and nothing changes), rich queries, atomic first-writer-wins
+saves, and a multiprocessing hammer for concurrent-writer safety.  The
+determinism contract (canonical report bytes identical across layouts and
+with the index present or deleted) is asserted byte-for-byte throughout.
+"""
+
+import json
+import multiprocessing
+import re
+import shutil
+import sqlite3
+
+import pytest
+
+from repro.evaluation.sweep import SweepReport
+from repro.scenarios.index import INDEX_FILE, StoreIndex
+from repro.scenarios.query import StoreQuery, parse_bound
+from repro.scenarios.spec import FaultSpec, ScenarioSpec
+from repro.scenarios.store import ResultStore, ResultStoreError
+from repro.telemetry import Telemetry, using
+
+
+def make_spec(name="cell-a", seed=0, **overrides):
+    overrides.setdefault("model", "mlp")
+    overrides.setdefault("dataset", "mnist")
+    return ScenarioSpec(name=name, sigmas=(0.0, 0.8), trials=2, seed=seed,
+                        **overrides)
+
+
+def make_report(spec, worst=0.4):
+    return SweepReport(label=spec.name, sigmas=list(spec.sigmas),
+                       means=[0.9, worst], stds=[0.0, 0.1],
+                       trial_scores=[[0.9, 0.9], [worst, worst]],
+                       trials=spec.trials)
+
+
+def fill(store, n=3, scenario="fill", **overrides):
+    specs = []
+    for i in range(n):
+        spec = make_spec(name=f"cell-{i}", seed=i, **overrides)
+        store.save(spec, make_report(spec, worst=0.2 + 0.1 * i),
+                   {"scenario": scenario})
+        specs.append(spec)
+    return specs
+
+
+STAMP = re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\+0000$")
+
+
+# --------------------------------------------------------------------------- #
+class TestShardedLayout:
+    def test_entries_land_in_hash_prefix_buckets(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = make_spec()
+        entry = store.save(spec, make_report(spec))
+        spec_hash = spec.spec_hash()
+        assert entry == store.root / spec_hash[:2] / spec_hash
+        assert store.path_for(spec) == entry
+
+    def test_legacy_flat_entries_read_through(self, tmp_path):
+        sharded = ResultStore(tmp_path / "sharded")
+        spec = fill(sharded, n=1)[0]
+        spec_hash = spec.spec_hash()
+        flat_root = tmp_path / "flat"
+        shutil.copytree(sharded.entry_dir(spec_hash),
+                        flat_root / spec_hash)
+        legacy = ResultStore(flat_root)
+        assert legacy.contains(spec)
+        assert list(legacy.hashes()) == [spec_hash]
+        assert legacy.load(spec).means == sharded.load(spec).means
+
+    def test_migrate_preserves_canonical_bytes(self, tmp_path):
+        sharded = ResultStore(tmp_path / "seed")
+        specs = fill(sharded, n=3)
+        flat_root = tmp_path / "flat"
+        flat_root.mkdir()
+        before = {}
+        for spec in specs:
+            spec_hash = spec.spec_hash()
+            shutil.copytree(sharded.entry_dir(spec_hash),
+                            flat_root / spec_hash)
+            before[spec_hash] = (
+                flat_root / spec_hash / "report.json").read_bytes()
+        store = ResultStore(flat_root)
+        result = store.migrate()
+        assert result["moved"] == 3 and result["entries"] == 3
+        for spec in specs:
+            spec_hash = spec.spec_hash()
+            entry = store.entry_dir(spec_hash)
+            assert entry.parent.name == spec_hash[:2]
+            assert (entry / "report.json").read_bytes() == before[spec_hash]
+        # Idempotent: a second run has nothing left to move.
+        assert store.migrate()["moved"] == 0
+        assert len(store) == 3
+
+    def test_migrate_drops_flat_duplicate_of_sharded_entry(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = fill(store, n=1)[0]
+        spec_hash = spec.spec_hash()
+        shutil.copytree(store.entry_dir(spec_hash), store.root / spec_hash)
+        result = store.migrate()
+        assert result["duplicates"] == 1 and result["moved"] == 0
+        assert not (store.root / spec_hash).exists()
+        assert store.contains(spec)
+
+
+# --------------------------------------------------------------------------- #
+class TestIndexAsPureCache:
+    def test_deleting_index_changes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = fill(store, n=3)
+        rows_before = store.query(model="mlp")
+        reports_before = {s.spec_hash(): store.load(s).means for s in specs}
+        (store.root / INDEX_FILE).unlink()
+        fresh = ResultStore(store.root)
+        assert fresh.query(model="mlp") == rows_before
+        assert {s.spec_hash(): fresh.load(s).means
+                for s in specs} == reports_before
+        assert all(fresh.contains(spec) for spec in specs)
+
+    def test_corrupt_index_file_recovers_by_rebuild(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fill(store, n=2)
+        rows_before = store.query()
+        store._index.close()
+        (store.root / INDEX_FILE).write_bytes(b"this is not a database")
+        fresh = ResultStore(store.root)
+        assert fresh.query() == rows_before
+        assert len(fresh) == 2
+
+    def test_schema_version_mismatch_wipes_and_rebuilds(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fill(store, n=2)
+        store._index.close()
+        conn = sqlite3.connect(str(store.root / INDEX_FILE))
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        fresh = ResultStore(store.root)
+        assert len(fresh) == 2
+        assert len(fresh.query()) == 2
+
+    def test_reindex_reports_and_skips_unparsable(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = fill(store, n=1)[0]
+        bogus = store.root / "ab" / ("b" * 64)
+        bogus.mkdir(parents=True)
+        for name in ("spec.json", "report.json", "meta.json"):
+            (bogus / name).write_text("{not json")
+        result = store.reindex()
+        assert result == {"entries": 1, "skipped": 1}
+        assert list(store.hashes()) == [spec.spec_hash()]
+
+    def test_stale_index_row_evicted_by_failed_load(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = fill(store, n=1)[0]
+        shutil.rmtree(store.entry_dir(spec.spec_hash()))
+        with pytest.raises(ResultStoreError, match="no entry"):
+            store.load(spec)
+        assert not store.contains(spec)
+
+    def test_index_hit_and_reindex_counters(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = fill(store, n=2)
+        telemetry = Telemetry()
+        with using(telemetry):
+            assert store.contains(specs[0])
+            assert store.missing(specs) == []
+            store.reindex()
+        counters = telemetry.snapshot()["metrics"]["counters"]
+        assert counters["store_index_hits"] == 3
+        assert counters["store_reindexes"] == 1
+
+
+# --------------------------------------------------------------------------- #
+class TestQueries:
+    def test_parse_bound(self):
+        assert parse_bound("<0.5") == ("<", 0.5)
+        assert parse_bound(">= 0.9") == (">=", 0.9)
+        assert parse_bound("!=1") == ("!=", 1.0)
+        assert parse_bound(0.25) == ("=", 0.25)
+        with pytest.raises(ValueError, match="bad score bound"):
+            parse_bound("~0.5")
+        with pytest.raises(ValueError, match="bad score bound"):
+            parse_bound("<lots")
+
+    def test_query_filters_and_bounds(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fill(store, n=3)  # worst scores 0.2, 0.3, 0.4
+        bitflip = make_spec(name="flip", fault=FaultSpec(kind="bitflip"))
+        store.save(bitflip, make_report(bitflip, worst=0.1),
+                   {"scenario": "faults"})
+        assert len(store.query(model="mlp")) == 4
+        assert [r["name"] for r in store.query(fault="bitflip")] == ["flip"]
+        assert [r["name"] for r in store.query(worst="<0.25")] \
+            == ["cell-0", "flip"]
+        assert [r["name"] for r in store.query(name="cell-*")] \
+            == ["cell-0", "cell-1", "cell-2"]
+        assert len(store.query(scenario="faults")) == 1
+        assert len(store.query(limit=2)) == 2
+        assert store.query(dataset="cifar10") == []
+        with pytest.raises(ValueError, match="bad score bound"):
+            store.query(worst="approximately small")
+
+    def test_query_rows_carry_summary_columns(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = fill(store, n=1, scenario="smoke")[0]
+        (row,) = store.query()
+        assert row["hash"] == spec.spec_hash()
+        assert row["sigmas"] == [0.0, 0.8]
+        assert row["clean"] == 0.9 and row["worst"] == 0.2
+        assert row["scenario"] == "smoke"
+        assert STAMP.match(row["created_at"])
+        assert row["bytes"] > 0
+
+    def test_store_query_rejects_bad_limit(self):
+        with pytest.raises(ValueError, match="limit"):
+            StoreQuery(limit=0)
+
+
+# --------------------------------------------------------------------------- #
+class TestAtomicSaves:
+    def test_save_leaves_no_staging_dirs(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fill(store, n=3)
+        assert store.stats()["stale_staging_dirs"] == 0
+
+    def test_duplicate_save_first_writer_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = make_spec()
+        store.save(spec, make_report(spec), {"scenario": "first"})
+        entry = store.save(spec, make_report(spec), {"scenario": "second"})
+        meta = json.loads((entry / "meta.json").read_text())
+        assert meta["scenario"] == "first"
+        assert len(store) == 1
+        assert store.stats()["stale_staging_dirs"] == 0
+
+    def test_partial_squatter_never_blocks_a_real_save(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = make_spec()
+        spec_hash = spec.spec_hash()
+        squatter = store.root / spec_hash[:2] / spec_hash
+        squatter.mkdir(parents=True)
+        (squatter / "spec.json").write_text("{}")  # crash leftover
+        store.save(spec, make_report(spec))
+        assert store.contains(spec)
+        assert store.load(spec).means == [0.9, 0.4]
+
+    def test_missing_batch_probe_preserves_order(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        stored = fill(store, n=2)
+        absent = [make_spec(name=f"gap-{i}", seed=10 + i) for i in range(2)]
+        mixed = [absent[0], stored[0], absent[1], stored[1]]
+        assert store.missing(mixed) == absent
+
+    def test_mtime_fallback_stamp_is_canonical_utc(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = fill(store, n=1)[0]
+        spec_hash = spec.spec_hash()
+        meta_path = store.entry_dir(spec_hash) / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        del meta["created_at"]
+        meta_path.write_text(json.dumps(meta))
+        stamp = store._entry_created_at(spec_hash)
+        assert STAMP.match(stamp), stamp
+
+    def test_stats_and_gc_never_walk_entry_trees(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        fill(store, n=3)
+        walked = []
+        monkeypatch.setattr(
+            ResultStore, "_tree_bytes",
+            staticmethod(lambda path: walked.append(path) or 0))
+        stats = store.stats()
+        gc = store.gc(keep_latest=1)
+        assert walked == []  # sizes and stamps all came from the index
+        assert stats["total_bytes"] > 0 and gc["bytes_freed"] > 0
+
+
+# --------------------------------------------------------------------------- #
+def _hammer_worker(args):
+    """Save an overlapping slice of specs into one shared store."""
+    root, worker_id, seeds = args
+    store = ResultStore(root)
+    for seed in seeds:
+        spec = make_spec(name=f"hammer-{seed}", seed=seed)
+        store.save(spec, make_report(spec),
+                   {"scenario": "hammer", "worker": worker_id})
+    return worker_id
+
+
+class TestConcurrentWriters:
+    def test_hammer_loses_no_entries(self, tmp_path):
+        """N processes save overlapping spec sets into one store: every
+        entry present, no stale staging dirs, and a consistent index."""
+        root = str(tmp_path / "store")
+        n_workers, n_specs = 4, 12
+        # Overlapping slices: every spec is saved by at least two workers.
+        jobs = [(root, worker, [(worker + offset) % n_specs
+                                for offset in range(n_specs // 2)])
+                for worker in range(n_workers)]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(n_workers) as pool:
+            assert sorted(pool.map(_hammer_worker, jobs)) == [0, 1, 2, 3]
+        store = ResultStore(root)
+        expected = {make_spec(name=f"hammer-{seed}", seed=seed).spec_hash()
+                    for seed in {seed for _, _, seeds in jobs
+                                 for seed in seeds}}
+        assert set(store.hashes()) == expected
+        stats = store.stats()
+        assert stats["stale_staging_dirs"] == 0
+        assert stats["entries"] == len(expected)
+        # The incrementally-maintained index matches a from-disk rebuild.
+        incremental = store.query()
+        store.reindex()
+        rebuilt = store.query()
+        assert [row["hash"] for row in incremental] \
+            == [row["hash"] for row in rebuilt]
+        for spec_hash in expected:
+            store.load_entry(spec_hash)  # validates every entry
