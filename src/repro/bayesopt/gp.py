@@ -35,6 +35,7 @@ class GaussianProcessRegressor:
         self._y_std = 1.0
         self._alpha: np.ndarray | None = None
         self._cho = None
+        self._y_scaled: np.ndarray | None = None
 
     @property
     def is_fitted(self) -> bool:
@@ -65,6 +66,7 @@ class GaussianProcessRegressor:
         else:
             raise linalg.LinAlgError("GP covariance matrix is not positive definite")
         self._alpha = linalg.cho_solve(self._cho, y_scaled)
+        self._y_scaled = y_scaled
         self._X = X
         return self
 
@@ -85,15 +87,15 @@ class GaussianProcessRegressor:
     def log_marginal_likelihood(self) -> float:
         """Log p(y | X) of the fitted (scaled) targets.
 
-        Uses the standard identity  -½ yᵀK⁻¹y − Σᵢ log Lᵢᵢ − n/2 log 2π where
-        ``alpha = K⁻¹ y`` is already cached from :meth:`fit`.
+        Uses the standard identity  -½ yᵀK⁻¹y − Σᵢ log Lᵢᵢ − n/2 log 2π.
+        Everything it needs — ``alpha = K⁻¹ y``, the Cholesky factor ``L``
+        (whose diagonal carries ½ log|K|) and the scaled targets — is
+        cached by :meth:`fit`, so this is O(n): no kernel matrix is
+        rebuilt and no O(n²) matmul re-derives ``y``.
         """
         if not self.is_fitted:
             raise RuntimeError("fit() must be called first")
         L = self._cho[0]
-        K = self.kernel(self._X, self._X)
-        K[np.diag_indices_from(K)] += self.noise + 1e-10
-        y_scaled = K @ self._alpha
-        return float(-0.5 * np.dot(y_scaled, self._alpha)
+        return float(-0.5 * np.dot(self._y_scaled, self._alpha)
                      - np.log(np.diag(L)).sum()
-                     - 0.5 * len(y_scaled) * np.log(2 * np.pi))
+                     - 0.5 * self._y_scaled.size * np.log(2 * np.pi))

@@ -54,7 +54,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..execution import EvalContext, resolve_backend
+from ..execution import EvalContext, resolve_backend, validate_backend
 from ..fault.drift import DriftModel, LogNormalDrift
 from ..inference import ClassificationAccuracy, resolve_evaluator
 from ..fault.injector import FaultInjector
@@ -299,9 +299,10 @@ class DriftSweepEngine:
         self.backend = backend
         self.trial_batch = None if trial_batch is None else int(trial_batch)
         # Fail fast on an unknown backend name or trial_batch; each run()
-        # resolves the backend afresh, the evaluator is reused.
+        # resolves the backend afresh, the evaluator is reused.  Validation
+        # is a pure registry lookup — no throwaway backend is built here.
         self.evaluator = resolve_evaluator(self.trial_batch)
-        resolve_backend(self.backend, workers=self.workers)
+        validate_backend(self.backend)
 
     # ------------------------------------------------------------------ #
     def _drift_for(self, sigma: float) -> DriftModel | LayerFaultPolicy:

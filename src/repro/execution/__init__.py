@@ -21,11 +21,24 @@ the same idea at coarser granularities: :mod:`repro.execution.cells` fans
 independent scenario cells over a worker pool, and
 :mod:`repro.execution.search` fans concurrent search trials (train +
 evaluate units from batched Bayesian optimisation) over a persistent one.
+
+All of them draw their pools from the process-wide warm
+:class:`~repro.execution.runtime.ExecutionRuntime`: pools are leased and
+returned still running, and worker context travels as digest-keyed
+shared-memory payloads, so back-to-back sweeps (the BO inner loop) stop
+paying fork + context shipping per sweep.  ``configure_runtime``,
+``REPRO_WARM_RUNTIME=0`` or a backend's ``warm=False`` restore the
+historical pool-per-sweep behaviour; results are byte-identical either
+way.
 """
 
 from .base import (
     EvalContext, ExecutionBackend, TrialResult,
-    available_backends, register_backend, resolve_backend,
+    available_backends, register_backend, resolve_backend, validate_backend,
+)
+from .runtime import (
+    ExecutionRuntime, configure_runtime, get_runtime, shutdown_runtime,
+    using_runtime,
 )
 from .serial import SerialBackend
 from .process import ProcessPoolBackend
@@ -36,6 +49,9 @@ from .search import SearchTrialPool, SEARCH_BACKENDS
 __all__ = [
     "EvalContext", "ExecutionBackend", "TrialResult",
     "available_backends", "register_backend", "resolve_backend",
+    "validate_backend",
+    "ExecutionRuntime", "configure_runtime", "get_runtime",
+    "shutdown_runtime", "using_runtime",
     "SerialBackend", "ProcessPoolBackend", "SharedMemoryBackend",
     "run_cells", "SearchTrialPool", "SEARCH_BACKENDS",
 ]

@@ -27,7 +27,7 @@ from ..telemetry import MetricsRegistry
 __all__ = [
     "EvalContext", "TrialResult", "ExecutionBackend",
     "register_backend", "available_backends", "resolve_backend",
-    "split_metrics",
+    "validate_backend", "split_metrics",
 ]
 
 
@@ -203,6 +203,22 @@ def register_backend(name: str):
 def available_backends() -> list[str]:
     """Registered backend names, for CLIs and error messages."""
     return sorted(_BACKEND_REGISTRY)
+
+
+def validate_backend(backend) -> None:
+    """Fail fast on an unknown backend selector without building one.
+
+    The construction-time twin of :func:`resolve_backend`: a pure registry
+    lookup, so callers that resolve afresh on every run (the engine) can
+    reject a typo'd name at ``__init__`` without paying for — or leaking —
+    a throwaway backend instance.
+    """
+    if backend is None or isinstance(backend, ExecutionBackend):
+        return
+    key = str(backend).lower()
+    if key not in _BACKEND_REGISTRY:
+        raise ValueError(f"unknown execution backend {backend!r}; "
+                         f"available: {available_backends()}")
 
 
 def resolve_backend(backend, workers: int = 0) -> ExecutionBackend:

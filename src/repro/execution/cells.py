@@ -28,6 +28,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 
 from ..telemetry import Telemetry, current, using
 from .process import _pool_context
+from .runtime import get_runtime
 
 __all__ = ["run_cells", "CELL_BACKENDS"]
 
@@ -123,28 +124,41 @@ def run_cells(specs, store_root: str | None, scenario: str | None,
         # Worker-side sweeps report their own (serial) worker counts; the
         # fan-out's pool width is the figure that makes utilisation honest.
         telemetry.gauge("workers", min(workers, len(specs)))
+        def drain(pool) -> None:
+            try:
+                futures = {pool.submit(_execute_cell, payload,
+                                       store_root, scenario,
+                                       runner_kwargs, trace):
+                           index
+                           for index, payload in enumerate(payloads)}
+            except Exception as error:  # submission/fork-time failure
+                raise _PoolBroke(error) from error
+            for future in as_completed(futures):
+                try:
+                    result = future.result()
+                except BrokenExecutor as error:
+                    raise _PoolBroke(error) from error
+                results[futures[future]] = result
+                telemetry.absorb(result.pop("telemetry", None),
+                                 under=span)
+                if progress is not None:
+                    progress(result)
+
+        # Cell tasks are self-contained (spec JSON + plain kwargs), so a
+        # warm bare pool from the runtime serves them directly — no
+        # context publication needed, and the workers stay up for the
+        # next matrix.  With the runtime opted out, the historical
+        # pool-per-call behaviour is unchanged.
+        lease = get_runtime().lease_pool(min(workers, len(specs)))
         try:
             try:
-                with ProcessPoolExecutor(max_workers=min(workers, len(specs)),
-                                         mp_context=_pool_context()) as pool:
-                    try:
-                        futures = {pool.submit(_execute_cell, payload,
-                                               store_root, scenario,
-                                               runner_kwargs, trace):
-                                   index
-                                   for index, payload in enumerate(payloads)}
-                    except Exception as error:  # submission/fork-time failure
-                        raise _PoolBroke(error) from error
-                    for future in as_completed(futures):
-                        try:
-                            result = future.result()
-                        except BrokenExecutor as error:
-                            raise _PoolBroke(error) from error
-                        results[futures[future]] = result
-                        telemetry.absorb(result.pop("telemetry", None),
-                                         under=span)
-                        if progress is not None:
-                            progress(result)
+                if lease is not None:
+                    drain(lease.pool)
+                else:
+                    with ProcessPoolExecutor(
+                            max_workers=min(workers, len(specs)),
+                            mp_context=_pool_context()) as pool:
+                        drain(pool)
             except _PoolBroke:
                 raise
             except BrokenExecutor as error:
@@ -167,4 +181,9 @@ def run_cells(specs, store_root: str | None, scenario: str | None,
                     results[index] = result
                     if progress is not None:
                         progress(result)
+        finally:
+            if lease is not None:
+                # A broken leased pool is evicted by the runtime here, so
+                # the next matrix leases a fresh one.
+                lease.release()
     return results, fallback_reason

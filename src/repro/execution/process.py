@@ -13,11 +13,13 @@ shared-memory alternative that ships only an offset table).
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable
 
 from ..telemetry import Telemetry, current, using
 from .base import ExecutionBackend, TrialResult, register_backend
+from .runtime import get_runtime, read_payload
 
 __all__ = ["ProcessPoolBackend"]
 
@@ -74,6 +76,35 @@ def _run_trial_group(group: list) -> dict:
     return {"results": results, "telemetry": telemetry.snapshot()}
 
 
+def _install_context(handle: tuple, trace: bool) -> None:
+    """Install a runtime-published context in this worker, once per digest.
+
+    Warm pools carry no initializer, so every task leads with the
+    ``(digest, segment, nbytes)`` handle of the context it needs.  A
+    digest match skips the unpickle entirely (the worker already holds
+    the identical model/data/evaluate_fn — same bytes, same installed
+    state, so the restore invariant carries over unchanged); a miss
+    attaches the segment, unpickles, and re-runs the same
+    :func:`_init_worker` the cold initializer path uses.  ``trace`` is
+    deliberately outside the digest: it is per-task telemetry state, not
+    evaluation content.
+    """
+    if _WORKER_STATE.get("context_digest") != handle[0]:
+        # Cleared first so a failed install can never leave a stale digest
+        # claiming the previous context is still current.
+        _WORKER_STATE.pop("context_digest", None)
+        model, data, evaluate_fn, evaluator = read_payload(handle)
+        _init_worker(model, data, evaluate_fn, evaluator, trace)
+        _WORKER_STATE["context_digest"] = handle[0]
+    else:
+        _WORKER_STATE["trace"] = bool(trace)
+
+
+def _warm_run_trial_group(handle: tuple, trace: bool, group: list) -> dict:
+    _install_context(handle, trace)
+    return _run_trial_group(group)
+
+
 def _pool_context():
     return multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None)
@@ -83,38 +114,88 @@ def _pool_context():
 class ProcessPoolBackend(ExecutionBackend):
     """Fan trials out over ``workers`` processes, pickled trial groups as tasks.
 
-    The pool is created lazily on the first chunk with two or more tasks
-    and capped by that chunk's task count, so no process is forked (and
-    pays the model/data initializer cost) without work to do; chunks that
-    fit a single task always evaluate in-process.  With the default
-    per-trial evaluator a task is exactly one trial — the historical
-    behaviour; a batched evaluator packs ``trial_batch`` trials per task.
-    Any pool failure propagates to the engine, which degrades the rest of
-    the sweep to serial evaluation.
+    The pool is engaged lazily on the first chunk with two or more tasks,
+    so no process is forked (and pays the model/data shipping cost)
+    without work to do; chunks that fit a single task always evaluate
+    in-process.  With the default per-trial evaluator a task is exactly
+    one trial — the historical behaviour; a batched evaluator packs
+    ``trial_batch`` trials per task.  Any pool failure propagates to the
+    engine, which degrades the rest of the sweep to serial evaluation.
+
+    When the warm :class:`~repro.execution.runtime.ExecutionRuntime` is
+    enabled (the default), the pool is *leased* rather than built: the
+    runtime hands back a persistent bare pool and the context travels as
+    a digest-keyed shared-memory payload attached to each task, so
+    ``close()`` releases the lease and the workers stay warm for the
+    next sweep.  ``warm=False`` (or a disabled runtime) restores the
+    historical cold pool with an initializer, torn down at ``close()``.
+    Either way the evaluation path in the worker is the same
+    ``_run_trial_group``, which is what keeps warm and cold results
+    byte-identical.
     """
 
     name = "process"
     out_of_process = True
 
-    def __init__(self, workers: int = 2):
+    def __init__(self, workers: int = 2, warm: bool | None = None):
         super().__init__()
         if workers < 2:
             raise ValueError("a pool backend needs at least 2 workers; "
                              "use SerialBackend for in-process evaluation")
         self.workers = int(workers)
+        self.warm = warm
         self._pool: ProcessPoolExecutor | None = None
+        # The configured cap actually applied to the live pool — the
+        # ``workers_used`` source of truth (never the executor's privates).
+        self._pool_width = 0
+        self._pool_lease = None
+        self._context_lease = None
+        self._context_handle: tuple | None = None
 
     # ------------------------------------------------------------------ #
+    def _context_payload(self) -> bytes:
+        """Pickle the full worker context once; its bytes key the segment."""
+        context = self.context
+        return pickle.dumps((context.model, context.data,
+                             context.evaluate_fn, context.evaluator))
+
+    def _lease_context(self, runtime) -> None:
+        self._context_lease = runtime.lease_payload(self._context_payload())
+        self._context_handle = self._context_lease.handle
+
+    def _submit_group(self, pool: ProcessPoolExecutor, group: list):
+        if self._context_handle is not None:
+            return pool.submit(_warm_run_trial_group, self._context_handle,
+                               self.context.trace, group)
+        return pool.submit(_run_trial_group, group)
+
     def _ensure_pool(self, task_count: int) -> ProcessPoolExecutor:
         if self._pool is None:
-            context = self.context
-            self._pool = ProcessPoolExecutor(
-                max_workers=min(self.workers, task_count),
-                mp_context=_pool_context(),
-                initializer=_init_worker,
-                initargs=(context.model, context.data, context.evaluate_fn,
-                          context.evaluator, context.trace))
+            runtime = get_runtime() if self.warm is not False else None
+            lease = (runtime.lease_pool(self.workers)
+                     if runtime is not None else None)
+            if lease is not None:
+                self._pool_lease = lease
+                self._pool = lease.pool
+                self._pool_width = lease.workers
+                self._lease_context(runtime)
+            else:
+                width = min(self.workers, task_count)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=width,
+                    mp_context=_pool_context(),
+                    initializer=self._initializer(),
+                    initargs=self._cold_initargs())
+                self._pool_width = width
         return self._pool
+
+    def _initializer(self):
+        return _init_worker
+
+    def _cold_initargs(self) -> tuple:
+        context = self.context
+        return (context.model, context.data, context.evaluate_fn,
+                context.evaluator, context.trace)
 
     def _group_pending(self, pending: dict[str, dict]) -> list[list]:
         """Group pending trials into worker tasks of ``trial_batch`` trials.
@@ -147,8 +228,7 @@ class ProcessPoolBackend(ExecutionBackend):
         with telemetry.span("backend", backend=self.name,
                             tasks=len(groups)) as span:
             pool = self._ensure_pool(len(groups))
-            futures = [pool.submit(_run_trial_group, group)
-                       for group in groups]
+            futures = [self._submit_group(pool, group) for group in groups]
             self.metrics.counter("tasks_shipped").add(len(futures))
             self.metrics.counter("bytes_shipped").add(
                 sum(self._task_bytes(digest, params)
@@ -159,10 +239,22 @@ class ProcessPoolBackend(ExecutionBackend):
                 results.extend(payload["results"])
                 telemetry.absorb(payload["telemetry"], under=span)
             self.used_backend = self.name
-            self.workers_used = self._pool._max_workers
+            self.workers_used = self._pool_width
         return results
 
     def close(self) -> None:
-        if self._pool is not None:
+        if self._pool_lease is not None:
+            # Leased warm pool: give it back, leave the workers running.
+            # A broken pool is evicted by the runtime on release, so the
+            # next sweep forks fresh instead of failing again.
+            self._pool_lease.release()
+            self._pool_lease = None
+            self._pool = None
+        elif self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._context_lease is not None:
+            self._context_lease.release()
+            self._context_lease = None
+            self._context_handle = None
+        self._pool_width = 0

@@ -20,12 +20,14 @@ that guarantee.
 
 from __future__ import annotations
 
+import pickle
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Callable
 
 from ..telemetry import MetricsRegistry, current
 from .process import _pool_context
+from .runtime import get_runtime, read_payload
 
 __all__ = ["SearchTrialPool", "SEARCH_BACKENDS"]
 
@@ -66,6 +68,25 @@ def _init_search_worker(task_fn: Callable, context: dict) -> None:
 
 def _run_search_task(payload: dict):
     return _SEARCH_WORKER_STATE["task_fn"](_SEARCH_WORKER_STATE["context"], payload)
+
+
+def _warm_run_search_task(handle: tuple, payload: dict):
+    """Warm-pool task: install the search context once per digest, then run.
+
+    Same digest protocol as the trial backends' warm tasks: a worker that
+    already holds this exact ``(task_fn, context)`` pickle skips the
+    unpickle; every task re-derives its own per-trial state from the
+    context and payload regardless, so a reused context cannot leak one
+    trial's state into the next.
+    """
+    state = _SEARCH_WORKER_STATE
+    if state.get("digest") != handle[0]:
+        state.pop("digest", None)
+        task_fn, context = read_payload(handle)
+        state["task_fn"] = task_fn
+        state["context"] = context
+        state["digest"] = handle[0]
+    return state["task_fn"](state["context"], payload)
 
 
 class SearchTrialPool:
@@ -114,6 +135,9 @@ class SearchTrialPool:
         self.metrics = MetricsRegistry()
         self.fallback_reason: str | None = None
         self._pool: ProcessPoolExecutor | None = None
+        self._pool_lease = None
+        self._context_lease = None
+        self._context_handle: tuple | None = None
 
     @property
     def tasks_shipped(self) -> int:
@@ -126,11 +150,30 @@ class SearchTrialPool:
     # ------------------------------------------------------------------ #
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=_pool_context(),
-                initializer=_init_search_worker,
-                initargs=(self._task_fn, self._context))
+            runtime = get_runtime()
+            lease = runtime.lease_pool(self.workers)
+            if lease is not None:
+                # Warm pool from the runtime: the (task_fn, context) pair
+                # ships as a digest-keyed payload installed on first use —
+                # a second search over the same model/data re-leases both
+                # the pool and the published context.
+                self._pool_lease = lease
+                self._pool = lease.pool
+                self._context_lease = runtime.lease_payload(
+                    pickle.dumps((self._task_fn, self._context)))
+                self._context_handle = self._context_lease.handle
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=_pool_context(),
+                    initializer=_init_search_worker,
+                    initargs=(self._task_fn, self._context))
         return self._pool
+
+    def _submit(self, pool: ProcessPoolExecutor, payload):
+        if self._context_handle is not None:
+            return pool.submit(_warm_run_search_task, self._context_handle,
+                               payload)
+        return pool.submit(_run_search_task, payload)
 
     def _run_serial(self, payloads: list, results: list) -> list:
         for index, payload in enumerate(payloads):
@@ -155,7 +198,7 @@ class SearchTrialPool:
         try:
             try:
                 pool = self._ensure_pool()
-                futures = {pool.submit(_run_search_task, payload): index
+                futures = {self._submit(pool, payload): index
                            for index, payload in enumerate(payloads)}
             except Exception as error:  # submission/fork-time failure
                 raise _PoolBroke(error) from error
@@ -179,7 +222,15 @@ class SearchTrialPool:
         return results
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
+        """Release the lease or shut the cold pool down (idempotent)."""
+        if self._pool_lease is not None:
+            self._pool_lease.release()
+            self._pool_lease = None
+            self._pool = None
+        elif self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._context_lease is not None:
+            self._context_lease.release()
+            self._context_lease = None
+            self._context_handle = None

@@ -25,6 +25,7 @@ worker shutdown.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -38,6 +39,7 @@ from ..telemetry import Telemetry, current, using
 from .base import TrialResult, register_backend
 from .process import (_init_worker, _pool_context, _WORKER_STATE,
                       ProcessPoolBackend)
+from .runtime import get_runtime, read_payload
 
 __all__ = ["SharedMemoryBackend"]
 
@@ -154,6 +156,58 @@ def _init_shared_worker(model, data, evaluate_fn, evaluator=None,
     _init_worker(model, data, evaluate_fn, evaluator, trace)
 
 
+def _release_stale_pins(keep: set) -> None:
+    """Close pinned dataset attachments not referenced by the new context.
+
+    With warm pools a worker outlives many contexts; only the dataset
+    views of the *currently installed* context are live, so older pinned
+    segments can be detached when a new context arrives — bounding the
+    worker's mapped memory by one dataset, not one per context ever seen.
+    """
+    for name in [name for name in _PINNED if name not in keep]:
+        _PINNED.discard(name)
+        segment = _ATTACHED.pop(name, None)
+        if segment is not None:
+            segment.close()
+
+
+def _install_shared_context(handle: tuple, trace: bool) -> None:
+    """Shared-memory twin of ``process._install_context``.
+
+    The payload's ``data`` slot may be a :class:`_DatasetHandle` pointing
+    at a runtime-owned pinned segment; the worker rebuilds the zero-copy
+    dataset over it exactly as the cold initializer does.
+    """
+    if _WORKER_STATE.get("context_digest") != handle[0]:
+        _WORKER_STATE.pop("context_digest", None)
+        model, data, evaluate_fn, evaluator = read_payload(handle)
+        if isinstance(data, _DatasetHandle):
+            _release_stale_pins(keep={data.segment})
+            data = _attach_dataset(data)
+        _init_worker(model, data, evaluate_fn, evaluator, trace)
+        _WORKER_STATE["context_digest"] = handle[0]
+    else:
+        _WORKER_STATE["trace"] = bool(trace)
+
+
+def _warm_run_shared_group(handle: tuple, trace: bool,
+                           segment_name: str, entries: list) -> dict:
+    _install_shared_context(handle, trace)
+    return _run_shared_group(segment_name, entries)
+
+
+def _dataset_digest(data: Dataset) -> str:
+    """Content key for a published dataset: shapes, dtypes and raw bytes."""
+    inputs = np.ascontiguousarray(data.inputs, dtype=np.float64)
+    labels = np.ascontiguousarray(data.labels)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((inputs.shape, labels.shape, str(labels.dtype),
+                   data.num_classes)).encode())
+    h.update(inputs.data)
+    h.update(labels.data)
+    return "dataset:" + h.hexdigest()
+
+
 @register_backend("shared_memory")
 class SharedMemoryBackend(ProcessPoolBackend):
     """Worker-pool execution that ships offset tables instead of weights.
@@ -175,34 +229,55 @@ class SharedMemoryBackend(ProcessPoolBackend):
     name = "shared_memory"
     out_of_process = True
 
-    def __init__(self, workers: int = 2):
-        super().__init__(workers=workers)
+    def __init__(self, workers: int = 2, warm: bool | None = None):
+        super().__init__(workers=workers, warm=warm)
         self._segments: list[shared_memory.SharedMemory] = []
         self._data_segment: shared_memory.SharedMemory | None = None
+        self._data_lease = None
 
     # ------------------------------------------------------------------ #
-    def _ensure_pool(self, task_count: int) -> ProcessPoolExecutor:
-        if self._pool is None:
-            context = self.context
-            data = context.data
-            if isinstance(data, Dataset):
-                # Publish the evaluation data once instead of pickling a
-                # full copy into every worker's initializer; workers
-                # rebuild the dataset over zero-copy views.  Non-Dataset
-                # evaluation data (e.g. detection sample lists) still
-                # travels pickled.
-                segment, handle = self._publish_dataset(data)
-                self._data_segment = segment
-                self.metrics.counter("bytes_shipped").add(
-                    len(pickle.dumps(handle)))
-                data = handle
-            self._pool = ProcessPoolExecutor(
-                max_workers=min(self.workers, task_count),
-                mp_context=_pool_context(),
-                initializer=_init_shared_worker,
-                initargs=(context.model, data, context.evaluate_fn,
-                          context.evaluator, context.trace))
-        return self._pool
+    def _initializer(self):
+        return _init_shared_worker
+
+    def _cold_initargs(self) -> tuple:
+        context = self.context
+        data = context.data
+        if isinstance(data, Dataset):
+            # Publish the evaluation data once instead of pickling a
+            # full copy into every worker's initializer; workers
+            # rebuild the dataset over zero-copy views.  Non-Dataset
+            # evaluation data (e.g. detection sample lists) still
+            # travels pickled.
+            segment, handle = self._publish_dataset(data)
+            self._data_segment = segment
+            self.metrics.counter("bytes_shipped").add(
+                len(pickle.dumps(handle)))
+            data = handle
+        return (context.model, data, context.evaluate_fn,
+                context.evaluator, context.trace)
+
+    def _context_payload(self) -> bytes:
+        """Warm-path context: the dataset leaves the payload for its own
+        digest-keyed pinned segment, so a BO run whose weights change
+        every trial re-ships only the model pickle — the dataset segment
+        is re-leased by content."""
+        context = self.context
+        data = context.data
+        if isinstance(data, Dataset):
+            self._data_lease = get_runtime().lease_segment(
+                _dataset_digest(data),
+                lambda: self._publish_dataset(data))
+            data = self._data_lease.handle
+            self.metrics.counter("bytes_shipped").add(
+                len(pickle.dumps(data)))
+        return pickle.dumps((context.model, data, context.evaluate_fn,
+                             context.evaluator))
+
+    def _submit_message(self, pool: ProcessPoolExecutor, message: tuple):
+        if self._context_handle is not None:
+            return pool.submit(_warm_run_shared_group, self._context_handle,
+                               self.context.trace, *message)
+        return pool.submit(_run_shared_group, *message)
 
     def _publish_dataset(self, data: Dataset
                          ) -> tuple[shared_memory.SharedMemory, _DatasetHandle]:
@@ -264,7 +339,7 @@ class SharedMemoryBackend(ProcessPoolBackend):
                                [(digest, tables[digest])
                                 for digest, _ in group])
                     bytes_counter.add(len(pickle.dumps(message)))
-                    futures.append(pool.submit(_run_shared_group, *message))
+                    futures.append(self._submit_message(pool, message))
                 self.metrics.counter("tasks_shipped").add(len(futures))
                 results = []
                 for future in futures:
@@ -274,7 +349,7 @@ class SharedMemoryBackend(ProcessPoolBackend):
             finally:
                 self._release(segment)
             self.used_backend = self.name
-            self.workers_used = self._pool._max_workers
+            self.workers_used = self._pool_width
         return results
 
     def close(self) -> None:
@@ -283,6 +358,11 @@ class SharedMemoryBackend(ProcessPoolBackend):
         # closing the backend must never leak shared memory.
         for segment in list(self._segments):
             self._release(segment)
+        if self._data_lease is not None:
+            # Runtime-owned dataset segment: hand the lease back (the
+            # segment stays published for the next sweep's digest hit).
+            self._data_lease.release()
+            self._data_lease = None
         if self._data_segment is not None:
             self._data_segment.close()
             self._data_segment.unlink()

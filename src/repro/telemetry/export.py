@@ -204,6 +204,15 @@ def format_trace_summary(summary: dict, top: int = 12) -> str:
     tasks_shipped = summary["counters"].get("tasks_shipped")
     if tasks_shipped is not None:
         lines.append(f"tasks shipped      {tasks_shipped}")
+    if any(summary["counters"].get(name)
+           for name in ("pool_reuses", "cold_starts", "segment_reuses")):
+        # How warm the run actually ran: pools forked vs re-leased, and
+        # published segments answered by digest instead of re-shipping.
+        lines.append(
+            f"warm runtime       "
+            f"{summary['counters'].get('pool_reuses', 0)} pool reuses / "
+            f"{summary['counters'].get('cold_starts', 0)} cold starts, "
+            f"{summary['counters'].get('segment_reuses', 0)} segment reuses")
     if summary.get("worker_utilization") is not None:
         lines.append(f"worker busy        {summary['worker_busy_seconds']:.3f}s "
                      f"(utilization {100.0 * summary['worker_utilization']:.1f}%)")

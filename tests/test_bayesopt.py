@@ -94,6 +94,33 @@ class TestGaussianProcess:
         gp = GaussianProcessRegressor().fit(X, y)
         assert np.isfinite(gp.log_marginal_likelihood())
 
+    def test_log_marginal_likelihood_matches_from_scratch(self):
+        """The cached O(n) value equals the textbook from-scratch formula."""
+        rng = np.random.default_rng(3)
+        X = rng.random((12, 2))
+        y = rng.normal(size=12)
+        gp = GaussianProcessRegressor().fit(X, y)
+        y_scaled = (y - y.mean()) / y.std()
+        K = gp.kernel(X, X)
+        K[np.diag_indices_from(K)] += gp.noise + 1e-10
+        expected = (-0.5 * y_scaled @ np.linalg.solve(K, y_scaled)
+                    - 0.5 * np.linalg.slogdet(K)[1]
+                    - 0.5 * y.size * np.log(2 * np.pi))
+        assert np.allclose(gp.log_marginal_likelihood(), expected)
+
+    def test_log_marginal_likelihood_never_rebuilds_the_kernel(self):
+        """Everything lml needs is cached by fit(): no kernel call, no drift
+        across repeated evaluations, and a refit refreshes the cache."""
+        rng = np.random.default_rng(4)
+        X, y = rng.random((9, 2)), rng.normal(size=9)
+        gp = GaussianProcessRegressor().fit(X, y)
+        first = gp.log_marginal_likelihood()
+        gp.kernel = None  # a rebuild of K would now blow up
+        assert gp.log_marginal_likelihood() == first
+        gp.kernel = GaussianProcessRegressor().kernel
+        refit = gp.fit(X[:5], y[:5]).log_marginal_likelihood()
+        assert np.isfinite(refit) and refit != first
+
     @given(st.integers(min_value=3, max_value=12))
     @settings(max_examples=10, deadline=None)
     def test_posterior_variance_nonnegative(self, n_points):

@@ -443,7 +443,11 @@ class TestFallbackSurfacing:
         monkeypatch.setattr(cells_module, "ProcessPoolExecutor", BrokenPool)
         specs = [tiny_spec(), tiny_spec(name="tiny2", seed=4)]
         telemetry = Telemetry()
-        with using(telemetry):
+        # The warm runtime would lease a real pool and never touch the
+        # patched constructor; this test targets the cold path's breakage
+        # classification, so opt out for its duration.
+        from repro.execution.runtime import ExecutionRuntime, using_runtime
+        with using_runtime(ExecutionRuntime(enabled=False)), using(telemetry):
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", RuntimeWarning)
                 results, reason = run_cells(specs, str(tmp_path), None,
